@@ -1,0 +1,168 @@
+// Package repro's root benchmarks time the building blocks behind every
+// table and figure of the paper's evaluation, one group per experiment.
+// They run the engines on the smaller suite members so a full
+// `go test -bench=.` stays in the minutes range; regenerating the complete
+// paper-scale tables is cmd/swiftbench's job.
+package repro_test
+
+import (
+	"testing"
+
+	"swift/internal/bench"
+	"swift/internal/benchprog"
+	"swift/internal/core"
+	"swift/internal/driver"
+	"swift/internal/hir"
+	"swift/internal/pointer"
+)
+
+// build prepares a benchmark pipeline once per process.
+var builds = map[string]*driver.Build{}
+
+func buildFor(b *testing.B, name string) *driver.Build {
+	b.Helper()
+	if bl, ok := builds[name]; ok {
+		return bl
+	}
+	p, ok := benchprog.ProfileByName(name)
+	if !ok {
+		b.Fatalf("unknown benchmark %s", name)
+	}
+	prog, err := benchprog.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bl, err := driver.FromHIR(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builds[name] = bl
+	return bl
+}
+
+func runEngine(b *testing.B, name, engine string, k, theta int) {
+	b.Helper()
+	bl := buildFor(b, name)
+	cfg := core.DefaultConfig()
+	cfg.K = k
+	cfg.Theta = theta
+	cfg.MaxPathEdges = 20_000_000
+	cfg.MaxRelations = 5_000_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bl.Run(engine, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed() {
+			b.Fatalf("%s on %s did not finish: %v", engine, name, res.Err)
+		}
+	}
+}
+
+// BenchmarkTable1Characteristics times the pipeline work behind Table 1:
+// generating a benchmark, building its call graph, and collecting its
+// reachability statistics.
+func BenchmarkTable1Characteristics(b *testing.B) {
+	p, _ := benchprog.ProfileByName("toba-s")
+	for i := 0; i < b.N; i++ {
+		prog, err := benchprog.Generate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts, err := pointer.Analyze(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := pts.CollectStats()
+		if st.ReachableMethods == 0 || hir.LineCount(prog) == 0 {
+			b.Fatal("empty stats")
+		}
+	}
+}
+
+// BenchmarkTable2 times the three engines of Table 2 on the suite members
+// every engine completes (the baselines are *expected* to exhaust their
+// budgets on the larger ones, which is a result, not a benchmark).
+func BenchmarkTable2(b *testing.B) {
+	for _, name := range []string{"jpat-p", "elevator", "toba-s", "javasrc-p"} {
+		for _, engine := range []string{"td", "bu", "swift"} {
+			if engine == "bu" && name != "jpat-p" && name != "elevator" {
+				continue // the unpruned baseline explodes beyond the smallest two
+			}
+			b.Run(name+"/"+engine, func(b *testing.B) {
+				runEngine(b, name, engine, 5, 1)
+			})
+		}
+	}
+}
+
+// BenchmarkTable2Large times the hybrid on the mid-size members where both
+// baselines already struggle.
+func BenchmarkTable2Large(b *testing.B) {
+	for _, name := range []string{"hedc", "antlr", "kawa-c"} {
+		b.Run(name+"/swift", func(b *testing.B) {
+			runEngine(b, name, "swift", 5, 1)
+		})
+	}
+}
+
+// BenchmarkTable3VaryK sweeps the trigger threshold (Table 3's experiment)
+// on a mid-size benchmark.
+func BenchmarkTable3VaryK(b *testing.B) {
+	for _, k := range []int{2, 5, 10, 50, 200} {
+		b.Run(kName(k), func(b *testing.B) {
+			runEngine(b, "javasrc-p", "swift", k, 1)
+		})
+	}
+}
+
+func kName(k int) string {
+	return map[int]string{2: "k=2", 5: "k=5", 10: "k=10", 50: "k=50", 200: "k=200"}[k]
+}
+
+// BenchmarkTable4VaryTheta compares pruning widths (Table 4's experiment).
+func BenchmarkTable4VaryTheta(b *testing.B) {
+	for _, name := range []string{"toba-s", "javasrc-p", "hedc"} {
+		for _, theta := range []int{1, 2} {
+			b.Run(name+"/theta="+string(rune('0'+theta)), func(b *testing.B) {
+				runEngine(b, name, "swift", 5, theta)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure5Series times producing the per-method summary series of
+// Figure 5 (a TD run plus a SWIFT run plus the distribution extraction).
+func BenchmarkFigure5Series(b *testing.B) {
+	bl := buildFor(b, "toba-s")
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tdCfg := cfg
+		tdCfg.K = core.Unlimited
+		td := bl.Core.RunTD(bl.TS.InitialState(), tdCfg)
+		sw := bl.Core.RunSwift(bl.TS.InitialState(), cfg)
+		if !td.Completed() || !sw.Completed() {
+			b.Fatal("run failed")
+		}
+		n := 0
+		for proc := range td.TD.Summaries {
+			n += td.TD.SummaryCount(proc) + sw.TD.SummaryCount(proc)
+		}
+		if n == 0 {
+			b.Fatal("no summaries")
+		}
+	}
+}
+
+// BenchmarkSuiteQuick exercises the whole table harness end to end at the
+// reduced budget (the smoke configuration of cmd/swiftbench -quick).
+func BenchmarkSuiteQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := bench.NewSuite()
+		if _, err := s.Run("toba-s", "swift", bench.QuickBudget(), 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command swiftbench regenerates the paper's evaluation tables and figure
+// on the synthetic benchmark suite:
+//
+//	swiftbench -table 1      benchmark characteristics (paper Table 1)
+//	swiftbench -table 2      TD vs BU vs SWIFT times and summaries (Table 2)
+//	swiftbench -table 3      k sweep on the avrora stand-in (Table 3)
+//	swiftbench -table 4      θ=1 vs θ=2 (Table 4)
+//	swiftbench -figure 5     per-method summary distributions (Figure 5)
+//	swiftbench -all          everything
+//
+// -quick uses reduced budgets for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swift/internal/bench"
+)
+
+func main() {
+	var (
+		tableN   = flag.Int("table", 0, "render table 1–4")
+		figureN  = flag.Int("figure", 0, "render figure 5")
+		all      = flag.Bool("all", false, "render every table and figure")
+		quick    = flag.Bool("quick", false, "use reduced budgets (smoke run)")
+		taint    = flag.Bool("taint", false, "run the kill/gen taint client generality experiment")
+		ablation = flag.Bool("ablation", false, "run the re-summarization ablation")
+		verify   = flag.Bool("verify", false, "assert the paper's completion pattern holds")
+	)
+	flag.Parse()
+	if !*all && *tableN == 0 && *figureN == 0 && !*taint && !*ablation && !*verify {
+		flag.Usage()
+		os.Exit(2)
+	}
+	budget := bench.DefaultBudget()
+	if *quick {
+		budget = bench.QuickBudget()
+	}
+	s := bench.NewSuite()
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "swiftbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *all || *tableN == 1 {
+		run("table 1", func() error { return s.Table1(os.Stdout) })
+	}
+	if *all || *tableN == 2 {
+		run("table 2", func() error { return s.Table2(os.Stdout, budget) })
+	}
+	if *all || *tableN == 3 {
+		run("table 3", func() error { return s.Table3(os.Stdout, budget) })
+	}
+	if *all || *tableN == 4 {
+		run("table 4", func() error { return s.Table4(os.Stdout, budget) })
+	}
+	if *all || *figureN == 5 {
+		run("figure 5", func() error { return s.Figure5(os.Stdout, budget) })
+	}
+	if *all || *taint {
+		run("taint", func() error { return s.TaintTable(os.Stdout, budget) })
+	}
+	if *all || *ablation {
+		run("ablation", func() error { return s.AblationTable(os.Stdout, budget) })
+	}
+	if *verify {
+		run("verify", func() error { return s.Verify(os.Stdout, budget) })
+	}
+}

@@ -1,0 +1,135 @@
+// Filecheck: check two protocols at once (file handles and network
+// connections) on a small "mirror service" program, and compare the
+// conventional top-down analysis with the SWIFT hybrid on the same input —
+// including a look at the relational summaries SWIFT computes.
+//
+//	go run ./examples/filecheck
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"swift/internal/core"
+	"swift/internal/driver"
+)
+
+// program models a service that downloads remote documents into local
+// files: connections must be connected before use and not used after
+// close; files must be opened before writing. Two bugs are planted: the
+// retry path reconnects an already-open connection (conn protocol), and
+// the cache path writes a file it never opened.
+const program = `
+property File {
+  states closed opened error
+  error error
+  open:  closed -> opened
+  write: opened -> opened
+  close: opened -> closed
+}
+
+property Conn {
+  states fresh live done error
+  error error
+  connect: fresh -> live
+  send:    live -> live
+  recv:    live -> live
+  close:   live -> done
+}
+
+class Main {
+  method main() {
+    svc = new Mirror @svc
+    c1 = new Conn @mainConn
+    f1 = new File @mainFile
+    svc.fetch(c1, f1)
+
+    c2 = new Conn @retryConn
+    f2 = new File @retryFile
+    svc.fetchWithRetry(c2, f2)
+
+    f3 = new File @cacheFile
+    svc.cacheNote(f3)
+  }
+}
+
+class Mirror {
+  method fetch(c, f) {
+    c.connect()
+    f.open()
+    while (*) {
+      c.send()
+      c.recv()
+      f.write()
+    }
+    f.close()
+    c.close()
+  }
+
+  method fetchWithRetry(c, f) {
+    c.connect()
+    if (*) {
+      c.connect()   // bug: reconnect while live
+    }
+    f.open()
+    c.send()
+    f.write()
+    f.close()
+    c.close()
+  }
+
+  method cacheNote(f) {
+    f.write()       // bug: write before open
+  }
+}
+`
+
+func main() {
+	b, err := driver.FromSource(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the conventional top-down baseline and the hybrid on the same
+	// pipeline and compare.
+	td, err := b.Run("td", core.TDConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.K = 2 // small program: trigger the bottom-up analysis early
+	sw, err := b.Run("swift", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("TD:    %8v  %4d top-down summaries\n",
+		td.Elapsed.Round(time.Microsecond), td.TDSummaryTotal())
+	fmt.Printf("SWIFT: %8v  %4d top-down summaries + %d relational cases (triggered on %d procedures)\n",
+		sw.Elapsed.Round(time.Microsecond), sw.TDSummaryTotal(), sw.BUSummaryTotal(), len(sw.Triggered))
+
+	// Both engines must agree on the verdict (Theorem 3.1).
+	fmt.Println("\nerror report (both engines agree):")
+	for _, site := range b.ErrorReport(sw) {
+		fmt.Printf("  %s violates the %s protocol\n", site, b.Lowered.Track[site].Name)
+	}
+
+	// Show the relational summaries SWIFT kept: the dominant cases are
+	// identities guarded by "the receiver does not alias the tracked
+	// object" — the paper's B1-style summaries.
+	fmt.Println("\nbottom-up summaries kept by pruning (θ=1):")
+	var names []string
+	for name := range sw.BU {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rs := sw.BU[name]
+		fmt.Printf("  %s:\n", name)
+		for _, r := range rs.Rels {
+			fmt.Printf("    %s\n", b.TS.RelString(r))
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Taint: run the kill/gen taint analysis — the second SWIFT client, whose
+// bottom-up side is synthesized automatically from the top-down kill/gen
+// description per Section 5.2 of the paper — under all three engines.
+//
+//	go run ./examples/taint
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"swift/internal/core"
+	"swift/internal/driver"
+	"swift/internal/killgen"
+)
+
+// program moves untrusted data around: Data objects allocated at the
+// "userInput" site are tainted; send() is a sink; sanitize() clears taint.
+// One path sends sanitized data (fine), one sends a config value (fine),
+// and one forwards raw user input to send() (alert).
+const program = `
+property Data {
+  states raw error
+  error error
+  sanitize: raw -> raw
+  send:     raw -> raw
+}
+
+class Main {
+  method main() {
+    p = new Pipeline @pipe
+    userIn = new Data @userInput
+    config = new Data @configData
+    p.cleanSend(userIn)
+    p.directSend(config)
+    p.directSend(userIn)
+  }
+}
+
+class Pipeline {
+  method cleanSend(d) {
+    x = d
+    x.sanitize()
+    x.send()
+  }
+  method directSend(d) {
+    d.send()
+  }
+}
+`
+
+func main() {
+	// The front end gives us the lowered command IR; the taint client runs
+	// on it directly.
+	b, err := driver.FromSource(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := b.Lowered.Prog
+	taint := killgen.NewTaint(prog, killgen.TaintConfig{
+		Sources:    []string{"userInput"},
+		Sanitizers: []string{"sanitize"},
+		Sinks:      []string{"send"},
+	})
+	an, err := core.NewAnalysis[string, string, string](taint, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	init := taint.Initial()
+	for _, engine := range []string{"td", "bu", "swift"} {
+		var res *core.Result[string, string, string]
+		switch engine {
+		case "td":
+			res = an.RunTD(init, core.TDConfig())
+		case "bu":
+			res = an.RunBU(init, core.BUConfig())
+		default:
+			cfg := core.DefaultConfig()
+			cfg.K = 1
+			res = an.RunSwift(init, cfg)
+		}
+		if !res.Completed() {
+			log.Fatalf("%s did not finish: %v", engine, res.Err)
+		}
+		alert := false
+		for _, s := range res.ExitStates(prog.Entry, init) {
+			if taint.Alerted(s) {
+				alert = true
+			}
+		}
+		fmt.Printf("%-5s %8v: taint reaches a sink: %v\n",
+			engine, res.Elapsed.Round(time.Microsecond), alert)
+	}
+	fmt.Println("\nall three engines agree (coincidence theorem); the alert is the raw")
+	fmt.Println("userInput flowing through Pipeline.directSend into send().")
+}

@@ -1,0 +1,63 @@
+// Tuning: sweep the SWIFT thresholds k and θ on one synthetic benchmark
+// and print how running time and summary counts respond — a miniature of
+// the paper's Tables 3 and 4.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"swift/internal/benchprog"
+	"swift/internal/core"
+	"swift/internal/driver"
+)
+
+func main() {
+	profile, ok := benchprog.ProfileByName("toba-s")
+	if !ok {
+		log.Fatal("unknown benchmark")
+	}
+	prog, err := benchprog.Generate(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := driver.FromHIR(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("k sweep (θ=1) on the toba-s stand-in:")
+	fmt.Println("    k      time  TD summaries  triggered")
+	for _, k := range []int{1, 2, 5, 10, 50, 200} {
+		cfg := core.DefaultConfig()
+		cfg.K = k
+		cfg.Timeout = time.Minute
+		res, err := b.Run("swift", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %3d  %8v  %12d  %9d\n",
+			k, res.Elapsed.Round(time.Millisecond), res.TDSummaryTotal(), len(res.Triggered))
+	}
+
+	fmt.Println("\nθ sweep (k=5):")
+	fmt.Println("    θ      time  TD summaries  BU cases")
+	for _, theta := range []int{1, 2, 3, 4} {
+		cfg := core.DefaultConfig()
+		cfg.Theta = theta
+		cfg.Timeout = time.Minute
+		res, err := b.Run("swift", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %3d  %8v  %12d  %8d\n",
+			theta, res.Elapsed.Round(time.Millisecond), res.TDSummaryTotal(), res.BUSummaryTotal())
+	}
+
+	fmt.Println("\nSetting k too low triggers summarization before the incoming-state")
+	fmt.Println("sample is representative; setting it too high forfeits reuse. Raising θ")
+	fmt.Println("keeps more relational cases: cheaper fallbacks, costlier summaries.")
+}

@@ -1,0 +1,340 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"swift/internal/hir"
+)
+
+// Table1 renders the benchmark characteristics table (paper Table 1):
+// classes, methods, code size and lines of code, split into application
+// code ("app": the Main and App layers) and the total including the
+// utility library that stands in for the JDK. All numbers are computed over
+// the 0-CFA-reachable part of each program, as in the paper.
+func (s *Suite) Table1(w io.Writer) error {
+	header := []string{"benchmark", "description",
+		"classes app", "total", "methods app", "total",
+		"code(KB) app", "total", "KLOC app", "total"}
+	var rows [][]string
+	for _, p := range s.Profiles {
+		b, err := s.Build(p.Name)
+		if err != nil {
+			return err
+		}
+		appClasses, totClasses := map[string]bool{}, map[string]bool{}
+		appMethods, totMethods := 0, 0
+		appLines, totLines := 0, 0
+		appBytes, totBytes := 0, 0
+		prog := s.Program(p.Name)
+		for _, m := range b.Pointer.ReachableMethods() {
+			app := isAppClass(m.Class.Name)
+			totClasses[m.Class.Name] = true
+			totMethods++
+			sub := &hir.Program{}
+			_ = sub
+			lines, bytes := methodSize(prog, m.Class.Name, m.Name)
+			totLines += lines
+			totBytes += bytes
+			if app {
+				appClasses[m.Class.Name] = true
+				appMethods++
+				appLines += lines
+				appBytes += bytes
+			}
+		}
+		rows = append(rows, []string{
+			p.Name, p.Desc,
+			fmt.Sprintf("%d", len(appClasses)), fmt.Sprintf("%d", len(totClasses)),
+			fmt.Sprintf("%d", appMethods), fmt.Sprintf("%d", totMethods),
+			fmt.Sprintf("%.1f", float64(appBytes)/1024), fmt.Sprintf("%.1f", float64(totBytes)/1024),
+			fmt.Sprintf("%.2f", float64(appLines)/1000), fmt.Sprintf("%.2f", float64(totLines)/1000),
+		})
+	}
+	fmt.Fprintln(w, "Table 1: Benchmark characteristics (0-CFA-reachable code).")
+	table(w, header, rows)
+	return nil
+}
+
+// isAppClass splits the generated programs into application and library
+// layers: Main and App* are the application; Util*, Dispatch are the
+// library standing in for the JDK.
+func isAppClass(name string) bool {
+	return name == "Main" || strings.HasPrefix(name, "App")
+}
+
+// methodSize measures one method's printed source: lines and bytes (the
+// "bytecode KB" stand-in).
+func methodSize(prog *hir.Program, class, method string) (lines, bytes int) {
+	c := prog.Class(class)
+	if c == nil {
+		return 0, 0
+	}
+	m := c.Method(method)
+	if m == nil {
+		return 0, 0
+	}
+	one := hir.NewProgram()
+	oc := hir.NewClass(class, "")
+	oc.AddMethod(&hir.Method{Name: m.Name, Params: m.Params, Body: m.Body})
+	one.AddClass(oc)
+	src := hir.Print(one)
+	return strings.Count(src, "\n"), len(src)
+}
+
+// Table2Row is one benchmark's outcome under the three engines.
+type Table2Row struct {
+	Name          string
+	TD, BU, Swift *EngineRun
+}
+
+// RunTable2 executes the three engines on every benchmark with the paper's
+// headline thresholds (k=5, θ=1). Only scalar outcomes are retained; the
+// heavyweight per-run state (path-edge maps, interners) is released after
+// each benchmark so the sweep's memory stays flat.
+func (s *Suite) RunTable2(budget Budget) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, name := range s.sortedNames() {
+		td, err := s.Run(name, "td", budget, 5, 1)
+		if err != nil {
+			return nil, err
+		}
+		td.Result = nil
+		bu, err := s.Run(name, "bu", budget, 5, 1)
+		if err != nil {
+			return nil, err
+		}
+		bu.Result = nil
+		sw, err := s.Run(name, "swift", budget, 5, 1)
+		if err != nil {
+			return nil, err
+		}
+		sw.Result = nil
+		s.Release(name)
+		rows = append(rows, Table2Row{Name: name, TD: td, BU: bu, Swift: sw})
+	}
+	return rows, nil
+}
+
+// Table2 renders the running-time and summary-count comparison (paper
+// Table 2). DNF marks runs that exhausted the work budget or deadline, the
+// analogue of the paper's timeout/OOM entries.
+func (s *Suite) Table2(w io.Writer, budget Budget) error {
+	rows, err := s.RunTable2(budget)
+	if err != nil {
+		return err
+	}
+	header := []string{"benchmark",
+		"TD time", "BU time", "SWIFT time", "vs TD", "vs BU",
+		"TD summ (td)", "(swift)", "drop",
+		"BU summ (bu)", "(swift)", "drop"}
+	var out [][]string
+	for _, r := range rows {
+		tdTime, buTime, swTime := "DNF", "DNF", "DNF"
+		if r.TD.Completed {
+			tdTime = fmtDur(r.TD.Elapsed)
+		}
+		if r.BU.Completed {
+			buTime = fmtDur(r.BU.Elapsed)
+		}
+		if r.Swift.Completed {
+			swTime = fmtDur(r.Swift.Elapsed)
+		}
+		tdDrop, buDrop := "-", "-"
+		tdCount, buCount := "-", "-"
+		if r.TD.Completed {
+			tdCount = fmtK(r.TD.TDSummaries)
+			if r.TD.TDSummaries > 0 {
+				tdDrop = fmt.Sprintf("%d%%", 100-100*r.Swift.TDSummaries/r.TD.TDSummaries)
+			}
+		}
+		if r.BU.Completed {
+			buCount = fmtK(r.BU.BUSummaries)
+			if r.BU.BUSummaries > 0 {
+				buDrop = fmt.Sprintf("%d%%", 100-100*r.Swift.BUSummaries/r.BU.BUSummaries)
+			}
+		}
+		out = append(out, []string{
+			r.Name, tdTime, buTime, swTime,
+			fmtSpeedup(r.TD.Elapsed, r.Swift.Elapsed, r.TD.Completed, r.Swift.Completed),
+			fmtSpeedup(r.BU.Elapsed, r.Swift.Elapsed, r.BU.Completed, r.Swift.Completed),
+			tdCount, fmtK(r.Swift.TDSummaries), tdDrop,
+			buCount, fmtK(r.Swift.BUSummaries), buDrop,
+		})
+	}
+	fmt.Fprintln(w, "Table 2: Running time and number of summaries, SWIFT (k=5, θ=1) vs the")
+	fmt.Fprintln(w, "TD and BU baselines. DNF = work budget or deadline exhausted.")
+	table(w, header, out)
+	return nil
+}
+
+// Table3 renders the k-sweep on the avrora stand-in (paper Table 3):
+// running time and top-down summary count for k ∈ {2,5,10,50,100,200,500},
+// θ=1.
+func (s *Suite) Table3(w io.Writer, budget Budget) error {
+	header := []string{"k", "running time", "TD summaries"}
+	var rows [][]string
+	for _, k := range []int{2, 5, 10, 50, 100, 200, 500} {
+		run, err := s.Run("avrora", "swift", budget, k, 1)
+		if err != nil {
+			return err
+		}
+		run.Result = nil
+		// Rebuild between runs: the interning tables otherwise accumulate
+		// the states of every k setting.
+		s.Release("avrora")
+		t := "DNF"
+		if run.Completed {
+			t = fmtDur(run.Elapsed)
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d", k), t, fmtK(run.TDSummaries)})
+	}
+	fmt.Fprintln(w, "Table 3: Effect of varying k on the avrora stand-in (θ=1).")
+	table(w, header, rows)
+	return nil
+}
+
+// Table4 renders the θ comparison (paper Table 4): θ=1 vs θ=2 with k=5 on
+// the ten benchmarks from toba-s up (the paper's selection).
+func (s *Suite) Table4(w io.Writer, budget Budget) error {
+	header := []string{"benchmark", "time θ=1", "time θ=2", "TD summ θ=1", "θ=2"}
+	var rows [][]string
+	for _, name := range s.sortedNames() {
+		if name == "jpat-p" || name == "elevator" {
+			continue
+		}
+		r1, err := s.Run(name, "swift", budget, 5, 1)
+		if err != nil {
+			return err
+		}
+		r1.Result = nil
+		r2, err := s.Run(name, "swift", budget, 5, 2)
+		if err != nil {
+			return err
+		}
+		r2.Result = nil
+		s.Release(name)
+		t1, t2 := "DNF", "DNF"
+		if r1.Completed {
+			t1 = fmtDur(r1.Elapsed)
+		}
+		if r2.Completed {
+			t2 = fmtDur(r2.Elapsed)
+		}
+		rows = append(rows, []string{name, t1, t2, fmtK(r1.TDSummaries), fmtK(r2.TDSummaries)})
+	}
+	fmt.Fprintln(w, "Table 4: Effect of varying θ with k=5.")
+	table(w, header, rows)
+	return nil
+}
+
+// Figure5 renders the per-method top-down summary counts of TD and SWIFT
+// for the three benchmarks the paper plots (toba-s, javasrc-p, antlr):
+// methods sorted by descending count, one series per engine, printed both
+// as a data listing and an ASCII log-scale sketch.
+func (s *Suite) Figure5(w io.Writer, budget Budget) error {
+	for _, name := range []string{"toba-s", "javasrc-p", "antlr"} {
+		td, err := s.Run(name, "td", budget, 5, 1)
+		if err != nil {
+			return err
+		}
+		sw, err := s.Run(name, "swift", budget, 5, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Figure 5 (%s): per-method top-down summaries, methods sorted by count.\n", name)
+		if !td.Completed || !sw.Completed {
+			fmt.Fprintln(w, "  (a run did not finish; series omitted)")
+			continue
+		}
+		tdSeries := perMethodCounts(td)
+		swSeries := perMethodCounts(sw)
+		td.Result, sw.Result = nil, nil
+		s.Release(name)
+		writeSeries(w, "TD   ", tdSeries)
+		writeSeries(w, "SWIFT", swSeries)
+		sketchLog(w, tdSeries, swSeries)
+	}
+	return nil
+}
+
+// perMethodCounts extracts the per-procedure summary counts of a run,
+// sorted descending (Figure 5's x-axis).
+func perMethodCounts(run *EngineRun) []int {
+	var counts []int
+	for proc := range run.Result.TD.Summaries {
+		counts = append(counts, run.Result.TD.SummaryCount(proc))
+	}
+	return descByCount(counts)
+}
+
+// writeSeries prints a compact series listing (first methods, then every
+// tenth).
+func writeSeries(w io.Writer, label string, series []int) {
+	fmt.Fprintf(w, "  %s:", label)
+	for i, v := range series {
+		if i < 8 || i%10 == 0 {
+			fmt.Fprintf(w, " %d:%d", i, v)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// sketchLog draws a small ASCII chart with a log-scale y-axis, mirroring
+// the figure's visual comparison of the two curves.
+func sketchLog(w io.Writer, td, sw []int) {
+	const width = 64
+	n := len(td)
+	if len(sw) > n {
+		n = len(sw)
+	}
+	if n == 0 {
+		return
+	}
+	maxV := 1
+	for _, v := range td {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	levels := 0
+	for m := maxV; m > 0; m /= 10 {
+		levels++
+	}
+	at := func(series []int, x int) int {
+		idx := x * n / width
+		if idx >= len(series) {
+			return 0
+		}
+		return series[idx]
+	}
+	for lvl := levels; lvl >= 1; lvl-- {
+		lo := ipow10(lvl - 1)
+		fmt.Fprintf(w, "  %7d |", lo)
+		for x := 0; x < width; x++ {
+			t := at(td, x) >= lo
+			s := at(sw, x) >= lo
+			switch {
+			case t && s:
+				fmt.Fprint(w, "*")
+			case t:
+				fmt.Fprint(w, "t")
+			case s:
+				fmt.Fprint(w, "s")
+			default:
+				fmt.Fprint(w, " ")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "          +%s  (t=TD only, s=SWIFT only, *=both)\n", strings.Repeat("-", width))
+}
+
+func ipow10(n int) int {
+	out := 1
+	for i := 0; i < n; i++ {
+		out *= 10
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package benchprog
+
+import (
+	"testing"
+	"time"
+
+	"swift/internal/core"
+	"swift/internal/driver"
+	"swift/internal/hir"
+)
+
+// TestGenerateAllProfiles checks every profile builds a valid program with
+// a working pipeline.
+func TestGenerateAllProfiles(t *testing.T) {
+	for _, p := range Profiles() {
+		prog, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if _, err := driver.FromHIR(prog); err != nil {
+			t.Fatalf("%s: pipeline: %v", p.Name, err)
+		}
+	}
+}
+
+// TestGenerateDeterministic checks the generator is reproducible.
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ProfileByName("toba-s")
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hir.Print(a) != hir.Print(b) {
+		t.Fatal("same profile generated different programs")
+	}
+}
+
+// TestCalibrationSmall runs SWIFT on the two smallest profiles end to end.
+func TestCalibrationSmall(t *testing.T) {
+	for _, name := range []string{"jpat-p", "elevator"} {
+		p, _ := ProfileByName(name)
+		prog, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := driver.FromHIR(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Timeout = 30 * time.Second
+		res, err := b.Run("swift", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed() {
+			t.Fatalf("%s: swift did not complete: %v", name, res.Err)
+		}
+		t.Logf("%s: swift %v, %d TD summaries, %d BU summaries",
+			name, res.Elapsed, res.TDSummaryTotal(), res.BUSummaryTotal())
+	}
+}

@@ -1,0 +1,106 @@
+package benchprog
+
+// Profiles returns the 12 benchmark profiles mirroring Table 1 of the
+// paper. Sizes are scaled down (the paper analyzes 60–250 KLOC Java
+// programs with a 24 h budget; this suite targets seconds per benchmark on
+// one machine) but the relative ordering and the structural character of
+// each program are preserved:
+//
+//   - PoolFiles drives the ratio of summary-reusable incoming states to
+//     fallback states, and with it the hybrid's speedup over top-down —
+//     it grows with benchmark size like the tracked-object population of
+//     the paper's subjects;
+//   - the three largest stand-ins (avrora, rhino-a, sablecc-j) have enough
+//     calling-context diversity to exhaust the top-down budget;
+//   - all but the two smallest have enough alias tangling to exhaust the
+//     unpruned bottom-up budget;
+//   - the three largest have a smaller pool relative to their call
+//     traffic, so the second-ranked relational case (the must-alias strong
+//     update) carries real weight there and θ=2 pays off, most of all on
+//     the avrora stand-in (paper Table 4).
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "jpat-p", Desc: "protein analysis tools", Seed: 101,
+			Utils: 2, UtilVariants: 0, AliasTangle: 0,
+			AppClasses: 2, MethodsPerClass: 3, CallsPerMethod: 1, PoolFiles: 4,
+			CrossCalls: 0, SloppyEvery: 0, Dispatch: 0,
+		},
+		{
+			Name: "elevator", Desc: "discrete event simulator", Seed: 102,
+			Utils: 2, UtilVariants: 0, AliasTangle: 1,
+			AppClasses: 3, MethodsPerClass: 3, CallsPerMethod: 1, PoolFiles: 5,
+			CrossCalls: 1, SloppyEvery: 0, Dispatch: 0,
+		},
+		{
+			Name: "toba-s", Desc: "java bytecode to C compiler", Seed: 103,
+			Utils: 4, UtilVariants: 1, AliasTangle: 2,
+			AppClasses: 5, MethodsPerClass: 4, CallsPerMethod: 2, PoolFiles: 10,
+			CrossCalls: 1, SloppyEvery: 9, Dispatch: 4,
+		},
+		{
+			Name: "javasrc-p", Desc: "java source to HTML translator", Seed: 104,
+			Utils: 5, UtilVariants: 1, AliasTangle: 2,
+			AppClasses: 6, MethodsPerClass: 5, CallsPerMethod: 2, PoolFiles: 16,
+			CrossCalls: 1, SloppyEvery: 9, Dispatch: 4,
+		},
+		{
+			Name: "hedc", Desc: "web crawler from ETH", Seed: 105,
+			Utils: 6, UtilVariants: 1, AliasTangle: 3,
+			AppClasses: 7, MethodsPerClass: 5, CallsPerMethod: 2, PoolFiles: 20,
+			CrossCalls: 2, SloppyEvery: 10, Dispatch: 5,
+		},
+		{
+			Name: "antlr", Desc: "parser/translator generator", Seed: 106,
+			Utils: 8, UtilVariants: 2, AliasTangle: 3,
+			AppClasses: 8, MethodsPerClass: 6, CallsPerMethod: 3, PoolFiles: 24,
+			CrossCalls: 2, SloppyEvery: 10, Dispatch: 5,
+		},
+		{
+			Name: "luindex", Desc: "document indexing and search tool", Seed: 107,
+			Utils: 8, UtilVariants: 2, AliasTangle: 3,
+			AppClasses: 8, MethodsPerClass: 5, CallsPerMethod: 3, PoolFiles: 26,
+			CrossCalls: 2, SloppyEvery: 12, Dispatch: 6,
+		},
+		{
+			Name: "lusearch", Desc: "text indexing and search tool", Seed: 108,
+			Utils: 8, UtilVariants: 2, AliasTangle: 3,
+			AppClasses: 8, MethodsPerClass: 6, CallsPerMethod: 3, PoolFiles: 26,
+			CrossCalls: 2, SloppyEvery: 12, Dispatch: 6,
+		},
+		{
+			Name: "kawa-c", Desc: "scheme to java bytecode compiler", Seed: 109,
+			Utils: 8, UtilVariants: 2, AliasTangle: 3,
+			AppClasses: 8, MethodsPerClass: 5, CallsPerMethod: 3, PoolFiles: 24,
+			CrossCalls: 2, SloppyEvery: 11, Dispatch: 5,
+		},
+		{
+			Name: "avrora", Desc: "microcontroller simulator/analyzer", Seed: 110,
+			Utils: 10, UtilVariants: 2, AliasTangle: 4,
+			AppClasses: 8, MethodsPerClass: 6, CallsPerMethod: 3, PoolFiles: 18,
+			CrossCalls: 3, SloppyEvery: 13, Dispatch: 6,
+		},
+		{
+			Name: "rhino-a", Desc: "JavaScript interpreter", Seed: 111,
+			Utils: 6, UtilVariants: 2, AliasTangle: 4,
+			AppClasses: 8, MethodsPerClass: 6, CallsPerMethod: 5, PoolFiles: 16,
+			CrossCalls: 4, SloppyEvery: 9, Dispatch: 4,
+		},
+		{
+			Name: "sablecc-j", Desc: "parser generator", Seed: 112,
+			Utils: 9, UtilVariants: 2, AliasTangle: 4,
+			AppClasses: 9, MethodsPerClass: 6, CallsPerMethod: 3, PoolFiles: 18,
+			CrossCalls: 3, SloppyEvery: 12, Dispatch: 5,
+		},
+	}
+}
+
+// ProfileByName returns the named profile, or false.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

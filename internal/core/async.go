@@ -1,0 +1,284 @@
+package core
+
+import (
+	"cmp"
+	"sync"
+	"time"
+
+	"swift/internal/ir"
+)
+
+// This file implements the parallelization sketched in the paper's
+// Section 7: "whenever a bottom-up summary is to be computed, [SWIFT]
+// spawns a new thread to do this bottom-up analysis, and itself continues
+// the top-down analysis." Use RunSwiftAsync with a Synchronized client.
+// Each trigger's bottom-up run gets its own (non-cumulative) relation and
+// step budget from the configuration.
+//
+// Asynchronous summarization preserves correctness — a summary is only
+// consulted after it is fully installed, and Theorem 3.1 applies to
+// whatever summaries exist at each call event — but not determinism: how
+// many call events are answered from summaries depends on when triggers
+// finish, so counters (and therefore summary counts) vary run to run. The
+// final abstract states still coincide with the top-down analysis.
+
+// Synchronized wraps a client with a mutex so the top-down solver (main
+// goroutine) and asynchronous bottom-up runs (worker goroutines) can share
+// its interning tables. The serialization limits the achievable overlap to
+// the solvers' non-client work; the win is latency hiding, not parallel
+// speedup of client operations.
+func Synchronized[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](c Client[S, R, P]) Client[S, R, P] {
+	return &lockedClient[S, R, P]{inner: c}
+}
+
+// lockedClient serializes all client calls.
+type lockedClient[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
+	mu    sync.Mutex
+	inner Client[S, R, P]
+}
+
+func (l *lockedClient[S, R, P]) Trans(c *ir.Prim, s S) []S {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Trans(c, s)
+}
+
+func (l *lockedClient[S, R, P]) Identity() R {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Identity()
+}
+
+func (l *lockedClient[S, R, P]) RTrans(c *ir.Prim, r R) []R {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.RTrans(c, r)
+}
+
+func (l *lockedClient[S, R, P]) RComp(r1, r2 R) []R {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.RComp(r1, r2)
+}
+
+func (l *lockedClient[S, R, P]) Applies(r R, s S) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Applies(r, s)
+}
+
+func (l *lockedClient[S, R, P]) Apply(r R, s S) []S {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Apply(r, s)
+}
+
+func (l *lockedClient[S, R, P]) PreOf(r R) P {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.PreOf(r)
+}
+
+func (l *lockedClient[S, R, P]) PreHolds(pre P, s S) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.PreHolds(pre, s)
+}
+
+func (l *lockedClient[S, R, P]) PreImplies(p, q P) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.PreImplies(p, q)
+}
+
+func (l *lockedClient[S, R, P]) WPre(r R, post P) []P {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.WPre(r, post)
+}
+
+func (l *lockedClient[S, R, P]) Reduce(rels []R) []R {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Reduce(rels)
+}
+
+// asyncState carries the shared summary store of an asynchronous hybrid
+// run.
+type asyncState[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
+	mu       sync.Mutex
+	bu       map[string]RSet[R, P]
+	failed   map[string]bool
+	inFlight map[string]bool
+	wg       sync.WaitGroup
+}
+
+// snapshotEntrySeen deep-copies the trigger procedure's incoming-state
+// multisets so the worker ranks against a stable sample while the top-down
+// analysis keeps mutating the live map.
+func snapshotEntrySeen[S cmp.Ordered](src map[string]multiset[S]) map[string]multiset[S] {
+	out := make(map[string]multiset[S], len(src))
+	for proc, m := range src {
+		cp := make(multiset[S], len(m))
+		for s, n := range m {
+			cp[s] = n
+		}
+		out[proc] = cp
+	}
+	return out
+}
+
+// asyncHybrid is the interceptor for RunSwiftAsync.
+type asyncHybrid[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
+	a      *Analysis[S, R, P]
+	config Config
+	res    *Result[S, R, P]
+	st     *asyncState[S, R, P]
+}
+
+func (h *asyncHybrid[S, R, P]) beforeCall(callee string, s S) ([]S, bool, error) {
+	h.st.mu.Lock()
+	rs, ok := h.st.bu[callee]
+	h.st.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	if Ignores(h.a.Client, rs, s) {
+		h.res.CallsInSigma++
+		return nil, false, nil
+	}
+	results := ApplySummary(h.a.Client, rs, s)
+	if len(results) == 0 {
+		return nil, false, nil // defensive: see hybrid.beforeCall
+	}
+	h.res.CallsViaBU++
+	return results, true, nil
+}
+
+func (h *asyncHybrid[S, R, P]) afterCall(callee string, s S) error {
+	h.res.CallsViaTD++
+	if h.config.K == Unlimited {
+		return nil
+	}
+	if h.res.TD.EntrySeen[callee].distinct() <= h.config.K {
+		return nil
+	}
+	h.st.mu.Lock()
+	_, done := h.st.bu[callee]
+	busy := h.st.inFlight[callee]
+	failed := h.st.failed[callee]
+	if done || busy || failed {
+		h.st.mu.Unlock()
+		return nil
+	}
+	// Collect the frontier under the lock (it reads h.st.bu).
+	frontier := h.frontierLocked(callee)
+	ready := true
+	for _, g := range frontier {
+		if h.res.TD.EntrySeen[g].distinct() == 0 {
+			ready = false
+			break
+		}
+	}
+	if !ready {
+		h.st.mu.Unlock()
+		return nil // postponed: a later call event retries
+	}
+	h.st.inFlight[callee] = true
+	preEta := make(map[string]RSet[R, P], len(h.st.bu))
+	for k, v := range h.st.bu {
+		preEta[k] = v
+	}
+	h.st.mu.Unlock()
+
+	rank := snapshotEntrySeen(h.res.TD.EntrySeen)
+	h.st.wg.Add(1)
+	go func() {
+		defer h.st.wg.Done()
+		var stats BUStats
+		eta, err := runBU(h.a.Client, h.a.Prog, h.config, h.config.Theta,
+			frontier, preEta, rank, &stats)
+		h.st.mu.Lock()
+		defer h.st.mu.Unlock()
+		h.st.inFlight[callee] = false
+		if err != nil {
+			h.st.failed[callee] = true
+			return
+		}
+		for name, rs := range eta {
+			h.st.bu[name] = rs
+		}
+	}()
+	return nil
+}
+
+// frontierLocked is reachableWithoutSummaries against the shared store;
+// the caller holds st.mu.
+func (h *asyncHybrid[S, R, P]) frontierLocked(f string) []string {
+	seen := map[string]bool{}
+	var out []string
+	var visit func(string)
+	visit = func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		if _, done := h.st.bu[name]; done {
+			return
+		}
+		proc, ok := h.a.Prog.Procs[name]
+		if !ok {
+			return
+		}
+		out = append(out, name)
+		for _, callee := range ir.Callees(proc.Body) {
+			visit(callee)
+		}
+	}
+	visit(f)
+	return newSortedSet(out)
+}
+
+// RunSwiftAsync runs Algorithm 1 with asynchronous bottom-up triggers: each
+// run_bu executes on its own goroutine while the top-down analysis
+// continues, per the parallelization sketch of the paper's Section 7. The
+// client must be safe for concurrent use — wrap it with Synchronized.
+// Results coincide with RunSwift/RunTD states-wise, but summary-usage
+// counters are timing-dependent.
+func (a *Analysis[S, R, P]) RunSwiftAsync(initial S, config Config) *Result[S, R, P] {
+	start := time.Now()
+	res := &Result[S, R, P]{
+		Engine:   "swift-async",
+		BU:       map[string]RSet[R, P]{},
+		BUFailed: map[string]bool{},
+	}
+	st := &asyncState[S, R, P]{
+		bu:       map[string]RSet[R, P]{},
+		failed:   map[string]bool{},
+		inFlight: map[string]bool{},
+	}
+	h := &asyncHybrid[S, R, P]{a: a, config: config, res: res, st: st}
+	t := newTDSolver(a.Client, a.CFG, config, h)
+	res.TD = t.res
+	err := t.seed(initial)
+	if err == nil {
+		err = t.run()
+	}
+	// Drain in-flight summarizations so the result is stable.
+	st.wg.Wait()
+	st.mu.Lock()
+	for name, rs := range st.bu {
+		res.BU[name] = rs
+	}
+	for name := range st.failed {
+		res.BUFailed[name] = true
+	}
+	st.mu.Unlock()
+	for name := range res.BU {
+		res.Triggered = append(res.Triggered, name)
+	}
+	res.Triggered = newSortedSet(res.Triggered)
+	res.Elapsed = time.Since(start)
+	res.Err = err
+	return res
+}

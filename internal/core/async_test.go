@@ -1,0 +1,159 @@
+package core_test
+
+import (
+	"testing"
+
+	"swift/internal/core"
+	"swift/internal/ir"
+	"swift/internal/killgen"
+)
+
+// TestAsyncEngine checks the Section 7 asynchronous hybrid against the
+// top-down baseline on the kill/gen fixture, several times (run with -race
+// to exercise the locking).
+func TestAsyncEngine(t *testing.T) {
+	prog, taint := fixture()
+	sync := core.Synchronized[string, string, string](taint)
+	an, err := core.NewAnalysis[string, string, string](sync, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := taint.Initial()
+	td := an.RunTD(init, core.TDConfig())
+	if !td.Completed() {
+		t.Fatal(td.Err)
+	}
+	want := td.ExitStates("main", init)
+	cfg := core.DefaultConfig()
+	cfg.K = 1
+	for round := 0; round < 8; round++ {
+		async := an.RunSwiftAsync(init, cfg)
+		if !async.Completed() {
+			t.Fatalf("round %d: %v", round, async.Err)
+		}
+		if async.Engine != "swift-async" {
+			t.Fatalf("engine = %q", async.Engine)
+		}
+		got := async.ExitStates("main", init)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d exit states, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("round %d: exit[%d] differs", round, i)
+			}
+		}
+	}
+}
+
+// TestAsyncBudgetFailure checks that a failing asynchronous trigger
+// degrades to top-down behaviour rather than corrupting the run.
+func TestAsyncBudgetFailure(t *testing.T) {
+	prog, taint := fixture()
+	sync := core.Synchronized[string, string, string](taint)
+	an, err := core.NewAnalysis[string, string, string](sync, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := taint.Initial()
+	cfg := core.DefaultConfig()
+	cfg.K = 1
+	cfg.MaxRelations = 1
+	async := an.RunSwiftAsync(init, cfg)
+	if !async.Completed() {
+		t.Fatalf("async run should complete by fallback: %v", async.Err)
+	}
+	if len(async.BUFailed) == 0 {
+		t.Error("expected failed triggers")
+	}
+	td := an.RunTD(init, core.TDConfig())
+	want := td.ExitStates("main", init)
+	got := async.ExitStates("main", init)
+	if len(got) != len(want) {
+		t.Fatalf("exit states %d, want %d", len(got), len(want))
+	}
+}
+
+// TestApplySummaryAndIgnores covers the exported summary helpers.
+func TestApplySummaryAndIgnores(t *testing.T) {
+	prog, taint := fixture()
+	an, err := core.NewAnalysis[string, string, string](taint, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := taint.Initial()
+	cfg := core.DefaultConfig()
+	cfg.K = 1
+	cfg.Theta = core.Unlimited // keep every case: summaries are total
+	res := an.RunSwift(init, cfg)
+	if !res.Completed() {
+		t.Fatal(res.Err)
+	}
+	if len(res.BU) == 0 {
+		t.Skip("no procedure summarized")
+	}
+	for name, rs := range res.BU {
+		if rs.Size() != len(rs.Rels) {
+			t.Errorf("%s: Size mismatch", name)
+		}
+		// With θ=∞, Σ is empty, so no state is ignored and every entry
+		// state has results.
+		if core.Ignores[string, string, string](taint, rs, init) {
+			t.Errorf("%s: θ=∞ summary ignores a state", name)
+		}
+	}
+}
+
+// TestSynthOnKillgen checks FromBottomUp over the kill/gen client: a full
+// engine run with the synthesized Trans matches the native one.
+func TestSynthOnKillgen(t *testing.T) {
+	prog, taint := fixture()
+	synth := core.FromBottomUp[string, string, string](taint)
+	an1, _ := core.NewAnalysis[string, string, string](taint, prog)
+	an2, _ := core.NewAnalysis[string, string, string](synth, prog)
+	init := taint.Initial()
+	a := an1.RunTD(init, core.TDConfig())
+	b := an2.RunTD(init, core.TDConfig())
+	if a.TDSummaryTotal() != b.TDSummaryTotal() {
+		t.Errorf("summary totals differ: %d vs %d", a.TDSummaryTotal(), b.TDSummaryTotal())
+	}
+	wa := a.ExitStates("main", init)
+	wb := b.ExitStates("main", init)
+	if len(wa) != len(wb) {
+		t.Fatalf("exit states differ: %d vs %d", len(wa), len(wb))
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Errorf("exit[%d] differs", i)
+		}
+	}
+}
+
+// TestNopPrimEverywhere checks the solvers tolerate programs that are all
+// structure and no effect.
+func TestNopPrimEverywhere(t *testing.T) {
+	prog := ir.NewProgram("main")
+	prog.Add(&ir.Proc{Name: "main", Body: &ir.Loop{Body: &ir.Choice{Alts: []ir.Cmd{
+		&ir.Prim{Kind: ir.Nop},
+		&ir.Seq{},
+	}}}})
+	taint := killgen.NewTaint(prog, killgen.TaintConfig{})
+	an, err := core.NewAnalysis[string, string, string](taint, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := taint.Initial()
+	for _, res := range []*core.Result[string, string, string]{
+		an.RunTD(init, core.TDConfig()),
+		an.RunBU(init, core.BUConfig()),
+		an.RunSwift(init, core.DefaultConfig()),
+	} {
+		if !res.Completed() {
+			t.Fatalf("%s: %v", res.Engine, res.Err)
+		}
+		exits := res.ExitStates("main", init)
+		if len(exits) != 1 || exits[0] != init {
+			t.Errorf("%s: exits = %v", res.Engine, exits)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+
+	"swift/internal/ir"
+)
+
+// This file provides executable checks for the framework conditions of
+// Figure 4 of the paper. Clients use them in property-based tests: each
+// check compares the symbolic operator (rtrans, rcomp, wp) against its
+// state-level specification on a sample of abstract states.
+
+// CheckC1 verifies condition C1 at a sample state: relating s through
+// rtrans(c)(r) must coincide with relating s through r and then applying
+// trans(c).
+func CheckC1[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
+	c Client[S, R, P], prim *ir.Prim, r R, s S,
+) error {
+	var lhs []S
+	for _, r2 := range c.RTrans(prim, r) {
+		if c.Applies(r2, s) {
+			lhs = append(lhs, c.Apply(r2, s)...)
+		}
+	}
+	var rhs []S
+	if c.Applies(r, s) {
+		for _, mid := range c.Apply(r, s) {
+			rhs = append(rhs, c.Trans(prim, mid)...)
+		}
+	}
+	if !newSortedSet(lhs).equal(newSortedSet(rhs)) {
+		return fmt.Errorf("C1 violated for %s at state %v: rtrans gives %v, trans gives %v",
+			prim, s, newSortedSet(lhs), newSortedSet(rhs))
+	}
+	return nil
+}
+
+// CheckC2 verifies condition C2 at a sample state: rcomp(r1, r2) must relate
+// s to exactly the states reachable by relating through r1 then r2.
+func CheckC2[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
+	c Client[S, R, P], r1, r2 R, s S,
+) error {
+	var lhs []S
+	for _, rc := range c.RComp(r1, r2) {
+		if c.Applies(rc, s) {
+			lhs = append(lhs, c.Apply(rc, s)...)
+		}
+	}
+	var rhs []S
+	if c.Applies(r1, s) {
+		for _, mid := range c.Apply(r1, s) {
+			if c.Applies(r2, mid) {
+				rhs = append(rhs, c.Apply(r2, mid)...)
+			}
+		}
+	}
+	if !newSortedSet(lhs).equal(newSortedSet(rhs)) {
+		return fmt.Errorf("C2 violated at state %v: rcomp gives %v, composition gives %v",
+			s, newSortedSet(lhs), newSortedSet(rhs))
+	}
+	return nil
+}
+
+// CheckWPre verifies the WPre operator (condition C3 restricted to dom(r))
+// at a sample state: s satisfies some precondition in WPre(r, post) iff s is
+// in dom(r) and every r-successor of s satisfies post.
+func CheckWPre[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
+	c Client[S, R, P], r R, post P, s S,
+) error {
+	lhs := false
+	for _, p := range c.WPre(r, post) {
+		if c.PreHolds(p, s) {
+			lhs = true
+			break
+		}
+	}
+	rhs := false
+	if c.Applies(r, s) {
+		rhs = true
+		for _, out := range c.Apply(r, s) {
+			if !c.PreHolds(post, out) {
+				rhs = false
+				break
+			}
+		}
+	}
+	if lhs != rhs {
+		return fmt.Errorf("WPre violated at state %v: symbolic=%v, semantic=%v", s, lhs, rhs)
+	}
+	return nil
+}
+
+// CheckPre verifies that PreOf(r) denotes exactly dom(r) at a sample state.
+func CheckPre[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
+	c Client[S, R, P], r R, s S,
+) error {
+	if c.PreHolds(c.PreOf(r), s) != c.Applies(r, s) {
+		return fmt.Errorf("PreOf violated at state %v: PreHolds=%v, Applies=%v",
+			s, c.PreHolds(c.PreOf(r), s), c.Applies(r, s))
+	}
+	return nil
+}
+
+// CheckIdentity verifies that Identity relates a sample state to exactly
+// itself.
+func CheckIdentity[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
+	c Client[S, R, P], s S,
+) error {
+	id := c.Identity()
+	if !c.Applies(id, s) {
+		return fmt.Errorf("identity does not apply to state %v", s)
+	}
+	out := newSortedSet(c.Apply(id, s))
+	if len(out) != 1 || out[0] != s {
+		return fmt.Errorf("identity maps %v to %v", s, out)
+	}
+	return nil
+}
+
+// SynthTopDown derives a top-down transfer function from a client's
+// bottom-up analysis via the Section 5.1 recipe
+//
+//	trans(c)(σ) = {σ′ | (σ,σ′) ∈ γ(rtrans(c)(id#))},
+//
+// which satisfies condition C1 by construction. It can be used both to
+// build a top-down analysis from scratch and, in tests, to cross-check a
+// hand-written Trans against the client's own RTrans.
+func SynthTopDown[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
+	c Client[S, R, P], prim *ir.Prim, s S,
+) []S {
+	var out []S
+	for _, r := range c.RTrans(prim, c.Identity()) {
+		if c.Applies(r, s) {
+			out = append(out, c.Apply(r, s)...)
+		}
+	}
+	return newSortedSet(out)
+}

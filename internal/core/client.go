@@ -1,0 +1,229 @@
+// Package core implements the SWIFT framework of Zhang, Mangal, Naik and
+// Yang (PLDI 2014): a generic hybrid interprocedural analysis that combines
+// a top-down (tabulating) analysis with a bottom-up (relational) analysis
+// whose case splitting is limited by a pruning operator guided by the
+// top-down analysis.
+//
+// The framework is parametrized by a Client, which supplies both analyses:
+//
+//   - the top-down analysis A = (S, trans) of Section 3.1 via Trans;
+//   - the bottom-up analysis B = (R, id#, γ, rtrans, rcomp) of Section 3.2
+//     via Identity, RTrans, RComp, Applies and Apply;
+//   - the weakest-precondition machinery of Section 3.3 (condition C3) via
+//     the symbolic precondition type P and PreOf, PreHolds, PreImplies and
+//     WPre.
+//
+// Three solvers are provided:
+//
+//   - RunTD: the conventional top-down tabulation baseline;
+//   - RunBU: the conventional bottom-up baseline (relational solver without
+//     pruning, followed by a top-down instantiation pass);
+//   - RunSwift: Algorithm 1 of the paper, the hybrid analysis with
+//     thresholds k and θ.
+//
+// All solvers are deterministic: worklists are FIFO and every set iteration
+// is over sorted keys, so repeated runs on the same program produce
+// identical results and identical counters.
+package core
+
+import (
+	"cmp"
+	"errors"
+	"math"
+	"time"
+
+	"swift/internal/ir"
+)
+
+// Client couples a top-down analysis with a bottom-up analysis over the same
+// abstract state space, as required by the SWIFT framework. The type
+// parameters are:
+//
+//   - S: abstract states (Section 3.1). Must be ordered so state sets can be
+//     kept canonical; implementations typically intern states to integers.
+//   - R: abstract relations (Section 3.2), similarly ordered/interned.
+//   - P: symbolic preconditions describing sets of abstract states. The
+//     framework represents the ignored set Σ of the pruned bottom-up
+//     analysis as a finite union of P values (exactly like the paper's
+//     example Σ' = {(h,t,a) | f ∉ a}).
+//
+// Implementations must satisfy conditions C1–C3 of the paper (Figure 4);
+// package core provides CheckC1 and friends to property-test them.
+type Client[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] interface {
+	// Trans is the top-down transfer function trans(c): S → 2^S of a
+	// primitive command. It must handle every ir.PrimKind including Nop
+	// (identity).
+	Trans(c *ir.Prim, s S) []S
+
+	// Identity returns id#, the abstract relation denoting the identity
+	// relation on abstract states.
+	Identity() R
+
+	// RTrans is the bottom-up transfer function rtrans(c): R → 2^R. The
+	// result set covers exactly the state pairs required by condition C1;
+	// infeasible case splits (false preconditions) must be omitted.
+	RTrans(c *ir.Prim, r R) []R
+
+	// RComp composes two abstract relations per condition C2: the returned
+	// set means {(σ,σ″) | ∃σ′: (σ,σ′)∈γ(r1) ∧ (σ′,σ″)∈γ(r2)}. An empty
+	// result means the composition is void.
+	RComp(r1, r2 R) []R
+
+	// Applies reports whether s ∈ dom(r).
+	Applies(r R, s S) bool
+
+	// Apply returns {σ′ | (s,σ′) ∈ γ(r)}. It is only called when
+	// Applies(r, s) is true.
+	Apply(r R, s S) []S
+
+	// PreOf returns a symbolic precondition denoting exactly dom(r).
+	PreOf(r R) P
+
+	// PreHolds reports whether s satisfies the precondition.
+	PreHolds(pre P, s S) bool
+
+	// PreImplies reports whether pre p entails pre q (p ⊆ q as state sets).
+	// A sound under-approximation (answering false when unsure) is
+	// acceptable: it only causes void relations to be retained, which never
+	// affects results on non-ignored states.
+	PreImplies(p, q P) bool
+
+	// WPre returns preconditions whose union denotes
+	// {σ | σ ∈ dom(r) ∧ ∀σ′:(σ,σ′)∈γ(r) ⇒ σ′ ⊨ post}, i.e. the paper's
+	// dom(r) ∧ wp(r, post). It is used to propagate a callee's ignored set
+	// backward through the relations at a call site (Section 3.5).
+	WPre(r R, post P) []P
+
+	// Reduce removes relations that are subsumed by others in the set
+	// (γ(r) ⊆ γ(r′) for some kept r′), preserving γ† of the set exactly.
+	// Joins of control-flow branches routinely produce the same transformer
+	// under both a weaker and a stronger precondition; dropping the
+	// stronger one costs nothing — in particular it needs no addition to
+	// the ignored set Σ — and is what lets a single relational case cover a
+	// procedure's dominant behaviour. Returning the input unchanged is
+	// always correct, just less effective.
+	Reduce(rels []R) []R
+}
+
+// Budget errors returned by the solvers when a resource limit is hit. The
+// baselines are expected to hit these on the larger benchmarks, mirroring
+// the paper's timeouts and out-of-memory failures.
+var (
+	// ErrBudget indicates a work or memory budget was exhausted.
+	ErrBudget = errors.New("core: analysis budget exhausted")
+	// ErrDeadline indicates the wall-clock deadline passed.
+	ErrDeadline = errors.New("core: analysis deadline exceeded")
+)
+
+// Unlimited disables a numeric budget field.
+const Unlimited = math.MaxInt
+
+// Config controls a solver run. The zero value is not useful; start from
+// DefaultConfig.
+type Config struct {
+	// K is the SWIFT trigger threshold: the bottom-up analysis is triggered
+	// on a procedure once the top-down analysis has seen more than K
+	// distinct incoming abstract states for it. Unlimited disables
+	// triggering (pure top-down behaviour).
+	K int
+
+	// Theta is the pruning width θ: the maximum number of relational cases
+	// kept by the pruning operator at each step. Unlimited disables pruning
+	// (the conventional bottom-up analysis).
+	Theta int
+
+	// MaxPathEdges bounds the number of top-down path edges (pairs (σ,σ′)
+	// recorded at program points). Models the paper's memory exhaustion.
+	MaxPathEdges int
+
+	// MaxTDSummaries bounds the total number of top-down summaries (pairs
+	// of input-output states per procedure).
+	MaxTDSummaries int
+
+	// MaxRelations bounds the total number of distinct abstract relations
+	// materialized by the bottom-up solver across all procedures. Models
+	// the exponential case explosion of the conventional bottom-up
+	// analysis.
+	MaxRelations int
+
+	// MaxBUSteps bounds the number of evaluation steps taken by the
+	// bottom-up solver (fixpoint iterations included).
+	MaxBUSteps int
+
+	// Timeout bounds wall-clock time for the whole run; zero means none.
+	Timeout time.Duration
+
+	// Resummarize bounds how many times the hybrid driver may recompute a
+	// procedure's bottom-up summary after the pruning oracle mispredicted
+	// the dominant case. The paper's Algorithm 1 summarizes each procedure
+	// once, ranking cases by the incoming states seen so far; when the
+	// trigger fires early in the run that sample is unrepresentative and
+	// the kept case can be useless (the failure mode Section 4 discusses).
+	// This implementation can watch the Σ-fallback rate per summarized
+	// procedure and re-run run_bu — with the now much larger sample — up
+	// to Resummarize times per procedure. Zero (the default) reproduces the
+	// one-shot behaviour of Algorithm 1, which also performs best in our
+	// experiments: after a procedure is summarized, only non-dominant
+	// states still reach it top-down, so the later sample is biased and
+	// re-ranking against it tends to evict the dominant case (the ablation
+	// benchmarks record this).
+	Resummarize int
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation
+// section: the paper's overall-optimal thresholds k=5, θ=1 and generous
+// budgets.
+func DefaultConfig() Config {
+	return Config{
+		K:              5,
+		Theta:          1,
+		MaxPathEdges:   Unlimited,
+		MaxTDSummaries: Unlimited,
+		MaxRelations:   Unlimited,
+		MaxBUSteps:     Unlimited,
+		Resummarize:    0,
+	}
+}
+
+// TDConfig returns the pure top-down baseline configuration.
+func TDConfig() Config {
+	c := DefaultConfig()
+	c.K = Unlimited
+	return c
+}
+
+// BUConfig returns the pure bottom-up baseline configuration (no pruning).
+func BUConfig() Config {
+	c := DefaultConfig()
+	c.Theta = Unlimited
+	return c
+}
+
+// deadline tracks an optional wall-clock limit cheaply: the solvers call
+// check every few hundred steps.
+type deadline struct {
+	at    time.Time
+	armed bool
+	count int
+}
+
+func newDeadline(timeout time.Duration) deadline {
+	if timeout <= 0 {
+		return deadline{}
+	}
+	return deadline{at: time.Now().Add(timeout), armed: true}
+}
+
+func (d *deadline) check() error {
+	if !d.armed {
+		return nil
+	}
+	d.count++
+	if d.count&0xff != 0 {
+		return nil
+	}
+	if time.Now().After(d.at) {
+		return ErrDeadline
+	}
+	return nil
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"time"
+
+	"swift/internal/ir"
+)
+
+// Analysis binds a client to a program, caching the program's control-flow
+// graph so the three engines (top-down, bottom-up, hybrid) can be run and
+// compared on the same input.
+type Analysis[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
+	Client Client[S, R, P]
+	Prog   *ir.Program
+	CFG    *ir.CFG
+}
+
+// NewAnalysis validates the program, builds its CFG and returns an Analysis
+// ready to run.
+func NewAnalysis[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
+	client Client[S, R, P], prog *ir.Program,
+) (*Analysis[S, R, P], error) {
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Analysis[S, R, P]{Client: client, Prog: prog, CFG: ir.BuildCFG(prog)}, nil
+}
+
+// Result is the outcome of one engine run.
+type Result[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
+	// Engine names the solver that produced the result: "td", "bu" or
+	// "swift".
+	Engine string
+	// TD holds the tabulation output (path edges, summaries, incoming-state
+	// multisets). For the bottom-up baseline it holds the instantiation
+	// pass's output.
+	TD *TDResult[S]
+	// BU maps procedures to their bottom-up summaries (empty for pure TD).
+	BU map[string]RSet[R, P]
+	// BUFailed marks procedures whose bottom-up analysis hit its budget in
+	// hybrid mode (the driver falls back to top-down for them).
+	BUFailed map[string]bool
+	// Triggered lists procedures for which run_bu was invoked, in order.
+	Triggered []string
+	// BUStats aggregates bottom-up work counters.
+	BUStats BUStats
+	// CallsViaBU and CallsViaTD count call-site events answered by
+	// bottom-up summaries versus handled by tabulation. Of the CallsViaTD
+	// events in hybrid mode, CallsInSigma were fallbacks forced by the
+	// incoming state being in the summary's ignored set Σ (the rest had no
+	// summary yet).
+	CallsViaBU   int
+	CallsViaTD   int
+	CallsInSigma int
+	// Resummarized counts adaptive summary recomputations (see
+	// Config.Resummarize).
+	Resummarized int
+	// Elapsed is wall-clock duration of the run.
+	Elapsed time.Duration
+	// Err is nil if the run completed, or ErrBudget/ErrDeadline if the
+	// engine did not finish (the paper's "timeout" entries).
+	Err error
+}
+
+// Completed reports whether the engine finished within its budgets.
+func (r *Result[S, R, P]) Completed() bool { return r.Err == nil }
+
+// TDSummaryTotal returns the total number of top-down summaries.
+func (r *Result[S, R, P]) TDSummaryTotal() int {
+	if r.TD == nil {
+		return 0
+	}
+	return r.TD.NumSummaries
+}
+
+// BUSummaryTotal returns the total number of bottom-up summaries (relational
+// cases across all procedures).
+func (r *Result[S, R, P]) BUSummaryTotal() int {
+	n := 0
+	for _, rs := range r.BU {
+		n += rs.Size()
+	}
+	return n
+}
+
+// ExitStates returns the analysis result at the exit of the entry procedure
+// for the given initial state: the abstract states the whole program may end
+// in. All three engines agree on this set when they complete (Theorem 3.1).
+func (r *Result[S, R, P]) ExitStates(entry string, initial S) []S {
+	if r.TD == nil {
+		return nil
+	}
+	return r.TD.Summaries[entry][initial]
+}
+
+// RunTD runs the conventional top-down baseline.
+func (a *Analysis[S, R, P]) RunTD(initial S, config Config) *Result[S, R, P] {
+	start := time.Now()
+	t := newTDSolver(a.Client, a.CFG, config, nil)
+	err := t.seed(initial)
+	if err == nil {
+		err = t.run()
+	}
+	return &Result[S, R, P]{
+		Engine:  "td",
+		TD:      t.res,
+		Elapsed: time.Since(start),
+		Err:     err,
+	}
+}
+
+// RunBU runs the conventional bottom-up baseline: relational summaries with
+// no pruning for every procedure reachable from the entry, followed by a
+// top-down instantiation pass that answers every call from those summaries.
+func (a *Analysis[S, R, P]) RunBU(initial S, config Config) *Result[S, R, P] {
+	start := time.Now()
+	res := &Result[S, R, P]{Engine: "bu", BU: map[string]RSet[R, P]{}}
+	f := a.Prog.Reachable(a.Prog.Entry)
+	eta, err := runBU(a.Client, a.Prog, config, Unlimited, f, nil, nil, &res.BUStats)
+	if err != nil {
+		res.Elapsed = time.Since(start)
+		res.Err = err
+		return res
+	}
+	res.BU = eta
+	inst := &buInstantiator[S, R, P]{a: a, eta: eta, res: res}
+	t := newTDSolver(a.Client, a.CFG, config, inst)
+	err = t.seed(initial)
+	if err == nil {
+		err = t.run()
+	}
+	res.TD = t.res
+	res.Elapsed = time.Since(start)
+	res.Err = err
+	return res
+}
+
+// buInstantiator answers every call from precomputed bottom-up summaries.
+type buInstantiator[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
+	a   *Analysis[S, R, P]
+	eta map[string]RSet[R, P]
+	res *Result[S, R, P]
+}
+
+func (b *buInstantiator[S, R, P]) beforeCall(callee string, s S) ([]S, bool, error) {
+	rs, ok := b.eta[callee]
+	if !ok {
+		return nil, false, nil
+	}
+	b.res.CallsViaBU++
+	return ApplySummary(b.a.Client, rs, s), true, nil
+}
+
+func (b *buInstantiator[S, R, P]) afterCall(string, S) error { return nil }
+
+// RunSwift runs Algorithm 1: top-down tabulation with bottom-up
+// summarization triggered at threshold k and pruned at width θ.
+func (a *Analysis[S, R, P]) RunSwift(initial S, config Config) *Result[S, R, P] {
+	start := time.Now()
+	res := &Result[S, R, P]{
+		Engine:   "swift",
+		BU:       map[string]RSet[R, P]{},
+		BUFailed: map[string]bool{},
+	}
+	h := &hybrid[S, R, P]{
+		a: a, config: config, res: res,
+		watch:   map[string]*watchRec{},
+		pending: map[string]bool{},
+	}
+	t := newTDSolver(a.Client, a.CFG, config, h)
+	h.td = t
+	res.TD = t.res
+	err := t.seed(initial)
+	if err == nil {
+		err = t.run()
+	}
+	res.Elapsed = time.Since(start)
+	res.Err = err
+	return res
+}
+
+// hybrid is the call interceptor implementing the SWIFT-specific parts of
+// Algorithm 1 (lines 12–19).
+type hybrid[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
+	a      *Analysis[S, R, P]
+	td     *tdSolver[S, R, P]
+	config Config
+	res    *Result[S, R, P]
+	// watch tracks per-procedure Σ-fallbacks to drive adaptive
+	// re-summarization (Config.Resummarize).
+	watch map[string]*watchRec
+	// pending holds procedures whose trigger fired but whose run_bu was
+	// postponed because some reachable procedure had no top-down incoming
+	// state yet to rank by (Section 4). Postponed means deferred, not
+	// dropped: the driver periodically retries them.
+	pending map[string]bool
+	// retryTick throttles pending retries.
+	retryTick int
+}
+
+// watchRec tracks how useful a procedure's bottom-up summary has been.
+type watchRec struct {
+	fallbacks int // Σ-fallbacks since the last (re-)summarization
+	redone    int // re-summarizations performed
+	limit     int // fallback budget before the next re-summarization
+}
+
+// beforeCall applies a bottom-up summary when one exists and the incoming
+// state is not in its ignored set Σ (line 12 of Algorithm 1); Theorem 3.1
+// guarantees the result equals re-analyzing the callee top-down.
+func (h *hybrid[S, R, P]) beforeCall(callee string, s S) ([]S, bool, error) {
+	rs, ok := h.res.BU[callee]
+	if !ok {
+		return nil, false, nil
+	}
+	if Ignores(h.a.Client, rs, s) {
+		h.res.CallsInSigma++
+		if err := h.noteFallback(callee); err != nil {
+			return nil, false, err
+		}
+		return nil, false, nil
+	}
+	results := ApplySummary(h.a.Client, rs, s)
+	if len(results) == 0 {
+		// The commands of the language are total, so a correct client's
+		// summary relates every non-ignored state to at least one output
+		// (Theorem 3.1). Guard against client bugs by re-analyzing
+		// top-down instead of silently dropping the state.
+		return nil, false, nil
+	}
+	h.res.CallsViaBU++
+	return results, true, nil
+}
+
+// noteFallback records a Σ-fallback and, once the summary has proven
+// ineffective often enough, recomputes it against the current (much larger)
+// incoming-state sample.
+func (h *hybrid[S, R, P]) noteFallback(callee string) error {
+	if h.config.Resummarize <= 0 {
+		return nil
+	}
+	w := h.watch[callee]
+	if w == nil {
+		w = &watchRec{limit: 8 * (h.config.K + 1)}
+		h.watch[callee] = w
+	}
+	w.fallbacks++
+	if w.redone >= h.config.Resummarize || w.fallbacks < w.limit {
+		return nil
+	}
+	w.redone++
+	w.fallbacks = 0
+	w.limit *= 4
+	old := h.res.BU[callee]
+	delete(h.res.BU, callee)
+	eta, err := runBU(
+		h.a.Client, h.a.Prog, h.config, h.config.Theta,
+		[]string{callee}, h.res.BU, h.res.TD.EntrySeen, &h.res.BUStats,
+	)
+	if err == ErrBudget {
+		h.res.BU[callee] = old
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	h.res.BU[callee] = eta[callee]
+	h.res.Resummarized++
+	return nil
+}
+
+// afterCall checks the trigger condition (line 17): once the callee has more
+// than k distinct incoming states and no bottom-up summary yet, run the
+// pruned bottom-up analysis on all procedures reachable from it. Postponed
+// triggers are retried periodically: a procedure's calls often arrive in a
+// burst before its callees have any incoming states to rank by, and the
+// retry fires run_bu once they do.
+func (h *hybrid[S, R, P]) afterCall(callee string, s S) error {
+	h.res.CallsViaTD++
+	if h.config.K == Unlimited {
+		return nil
+	}
+	if h.res.TD.EntrySeen[callee].distinct() > h.config.K {
+		if _, done := h.res.BU[callee]; !done && !h.res.BUFailed[callee] {
+			if err := h.trigger(callee); err != nil {
+				return err
+			}
+		}
+	}
+	h.retryTick++
+	if h.retryTick&0x3f == 0 && len(h.pending) > 0 {
+		for _, f := range newSortedSet(keysOf(h.pending)) {
+			if _, done := h.res.BU[f]; done || h.res.BUFailed[f] {
+				delete(h.pending, f)
+				continue
+			}
+			if err := h.trigger(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func keysOf(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// trigger runs run_bu(Γ, θ, f, bu) with the paper's two implementation
+// refinements (Section 4): procedures that already have summaries are reused
+// rather than recomputed, and triggering is postponed until every procedure
+// to be analyzed has at least one top-down incoming state (otherwise the
+// pruning operator has no data to rank by).
+func (h *hybrid[S, R, P]) trigger(f string) error {
+	frontier := h.reachableWithoutSummaries(f)
+	for _, g := range frontier {
+		if h.res.TD.EntrySeen[g].distinct() == 0 {
+			h.pending[f] = true // postpone: retried once g has data
+			return nil
+		}
+	}
+	delete(h.pending, f)
+	eta, err := runBU(
+		h.a.Client, h.a.Prog, h.config, h.config.Theta,
+		frontier, h.res.BU, h.res.TD.EntrySeen, &h.res.BUStats,
+	)
+	if err == ErrBudget {
+		// The bottom-up side ran out of budget: fall back to pure top-down
+		// for this trigger procedure and carry on.
+		h.res.BUFailed[f] = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for name, rs := range eta {
+		h.res.BU[name] = rs
+	}
+	h.res.Triggered = append(h.res.Triggered, f)
+	return nil
+}
+
+// reachableWithoutSummaries returns the procedures reachable from f by call
+// chains, not expanding through procedures that already have bottom-up
+// summaries (they are reused via η), sorted.
+func (h *hybrid[S, R, P]) reachableWithoutSummaries(f string) []string {
+	seen := map[string]bool{}
+	var out []string
+	var visit func(string)
+	visit = func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		if _, done := h.res.BU[name]; done {
+			return
+		}
+		proc, ok := h.a.Prog.Procs[name]
+		if !ok {
+			return
+		}
+		out = append(out, name)
+		for _, callee := range ir.Callees(proc.Body) {
+			visit(callee)
+		}
+	}
+	visit(f)
+	return newSortedSet(out)
+}

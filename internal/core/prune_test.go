@@ -1,0 +1,164 @@
+package core
+
+// White-box property tests of the pruned bottom-up domain operators
+// (Section 3.4): prune must keep at most θ relations, only ever grow the
+// ignored set, and preserve the meaning of the kept relations on
+// non-ignored states; clean must preserve γ† on non-ignored states.
+
+import (
+	"testing"
+
+	"swift/internal/ir"
+	"swift/internal/killgen"
+)
+
+// pruneFixture builds a solver over the taint client with a seeded rank
+// multiset.
+func pruneFixture(t *testing.T, theta int) (*buSolver[string, string, string], *killgen.Taint, []*ir.Prim) {
+	t.Helper()
+	prims := []*ir.Prim{
+		{Kind: ir.New, Dst: "a", Site: "src"},
+		{Kind: ir.New, Dst: "b", Site: "clean"},
+		{Kind: ir.Copy, Dst: "b", Src: "a"},
+		{Kind: ir.Copy, Dst: "c", Src: "b"},
+		{Kind: ir.Copy, Dst: "a", Src: "c"},
+		{Kind: ir.TSCall, Dst: "c", Method: "sink"},
+		{Kind: ir.Kill, Dst: "b"},
+	}
+	body := make([]ir.Cmd, len(prims))
+	for i, p := range prims {
+		body[i] = p
+	}
+	prog := ir.NewProgram("main")
+	prog.Add(&ir.Proc{Name: "main", Body: &ir.Seq{Cmds: body}})
+	taint := killgen.NewTaint(prog, killgen.TaintConfig{
+		Sources: []string{"src"},
+		Sinks:   []string{"sink"},
+	})
+	// Rank data: a few sample states with multiplicities.
+	m := multiset[string]{}
+	m.add(taint.Initial(), 5)
+	m.add(taint.State(taint.MakeBits("a")), 2)
+	m.add(taint.State(taint.MakeBits("a", "b")), 1)
+	b := &buSolver[string, string, string]{
+		client: taint,
+		prog:   prog,
+		theta:  theta,
+		rank:   map[string]multiset[string]{"main": m},
+		stats:  &BUStats{},
+		budget: BUConfig(),
+	}
+	return b, taint, prims
+}
+
+// grow produces a diverse relation set by pushing prims through rtrans.
+func grow(b *buSolver[string, string, string], taint *killgen.Taint, prims []*ir.Prim) sortedSet[string] {
+	rels := sortedSet[string]{taint.Identity()}
+	for _, p := range prims {
+		var next []string
+		for _, r := range rels {
+			next = append(next, taint.RTrans(p, r)...)
+		}
+		rels = rels.union(newSortedSet(next))
+	}
+	return rels
+}
+
+func TestPruneLaws(t *testing.T) {
+	for _, theta := range []int{1, 2, 3, 5} {
+		b, taint, prims := pruneFixture(t, theta)
+		rels := grow(b, taint, prims)
+		if len(rels) <= theta {
+			t.Fatalf("fixture too small: %d relations", len(rels))
+		}
+		in := RSet[string, string]{Rels: rels}
+		out := b.prune("main", in)
+
+		// Law 1: at most θ relations kept.
+		if len(out.Rels) > theta {
+			t.Errorf("θ=%d: kept %d relations", theta, len(out.Rels))
+		}
+		// Law 2: Σ only grows (here: from empty).
+		if len(out.Sigma) == 0 {
+			t.Errorf("θ=%d: dropped relations left no Σ entries", theta)
+		}
+		// Law 3: kept relations are a subset of the input.
+		for _, r := range out.Rels {
+			if !in.Rels.has(r) {
+				t.Errorf("θ=%d: prune invented relation", theta)
+			}
+		}
+		// Law 4 (the coincidence core): for any state NOT ignored by Σ,
+		// γ†(kept) equals γ†(input). Check on a sample of states.
+		samples := []string{
+			taint.Initial(),
+			taint.State(taint.MakeBits("a")),
+			taint.State(taint.MakeBits("a", "b")),
+			taint.State(taint.MakeBits("b", "c")),
+			taint.State(taint.MakeBits("ALERT")),
+		}
+		for _, s := range samples {
+			if Ignores[string, string, string](taint, out, s) {
+				continue
+			}
+			want := ApplySummary(taint, RSet[string, string]{Rels: in.Rels}, s)
+			got := ApplySummary(taint, out, s)
+			if len(want) != len(got) {
+				t.Fatalf("θ=%d: meaning changed on non-ignored state: %d vs %d outputs",
+					theta, len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("θ=%d: output %d differs on non-ignored state", theta, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCleanRemovesSubsumedDomains(t *testing.T) {
+	b, taint, prims := pruneFixture(t, 1)
+	rels := grow(b, taint, prims)
+	// Put one relation's domain into Σ: clean must drop relations whose
+	// precondition implies it, keep the rest, and never change Σ.
+	victim := rels[len(rels)/2]
+	sigma := sortedSet[string]{taint.PreOf(victim)}
+	out := b.clean(RSet[string, string]{Rels: rels, Sigma: sigma})
+	if out.Rels.has(victim) {
+		t.Error("clean kept a relation whose domain is in Σ")
+	}
+	if !out.Sigma.equal(sigma) {
+		t.Error("clean changed Σ")
+	}
+	for _, r := range out.Rels {
+		if b.client.PreImplies(b.client.PreOf(r), taint.PreOf(victim)) {
+			t.Errorf("clean kept a subsumed relation")
+		}
+	}
+}
+
+func TestJoinIsUpperBound(t *testing.T) {
+	b, taint, prims := pruneFixture(t, 3)
+	rels := grow(b, taint, prims)
+	half := len(rels) / 2
+	x := RSet[string, string]{Rels: newSortedSet(rels[:half])}
+	y := RSet[string, string]{Rels: newSortedSet(rels[half:])}
+	j := b.join(x, y)
+	// Every input relation is represented: either kept, or subsumed by a
+	// kept one with the same behaviour (Reduce), never silently lost.
+	samples := []string{taint.Initial(), taint.State(taint.MakeBits("a", "c"))}
+	for _, s := range samples {
+		want := ApplySummary(taint, RSet[string, string]{Rels: newSortedSet(rels)}, s)
+		got := ApplySummary(taint, j, s)
+		if len(want) != len(got) {
+			t.Fatalf("join lost behaviour: %d vs %d", len(want), len(got))
+		}
+	}
+	// Join with the empty element is identity up to Reduce.
+	j2 := b.join(x, RSet[string, string]{})
+	for _, r := range j2.Rels {
+		if !x.Rels.has(r) {
+			t.Error("join with bottom invented relations")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"cmp"
+	"slices"
+)
+
+// sortedSet is a canonical (sorted, duplicate-free) slice of ordered values.
+// The solvers keep all state, relation and precondition sets in this form so
+// iteration order — and therefore every counter and result — is
+// deterministic.
+type sortedSet[T cmp.Ordered] []T
+
+// newSortedSet canonicalizes an arbitrary slice.
+func newSortedSet[T cmp.Ordered](xs []T) sortedSet[T] {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := slices.Clone(xs)
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// has reports membership by binary search.
+func (s sortedSet[T]) has(x T) bool {
+	_, ok := slices.BinarySearch(s, x)
+	return ok
+}
+
+// insert returns the set with x added, reporting whether it was new. The
+// result is always a fresh slice: sorted sets are shared freely across
+// domain elements, so in-place extension would corrupt aliases.
+func (s sortedSet[T]) insert(x T) (sortedSet[T], bool) {
+	i, ok := slices.BinarySearch(s, x)
+	if ok {
+		return s, false
+	}
+	out := make(sortedSet[T], len(s)+1)
+	copy(out, s[:i])
+	out[i] = x
+	copy(out[i+1:], s[i:])
+	return out, true
+}
+
+// union returns the union of two sorted sets.
+func (s sortedSet[T]) union(t sortedSet[T]) sortedSet[T] {
+	if len(t) == 0 {
+		return s
+	}
+	if len(s) == 0 {
+		return t
+	}
+	out := make(sortedSet[T], 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case t[j] < s[i]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// equal reports set equality.
+func (s sortedSet[T]) equal(t sortedSet[T]) bool { return slices.Equal(s, t) }
+
+// multiset counts occurrences of ordered values; used for the incoming-state
+// multiset M that guides the pruning operator's ranking.
+type multiset[T cmp.Ordered] map[T]int
+
+// add increments the count of x by n.
+func (m multiset[T]) add(x T, n int) { m[x] += n }
+
+// distinct returns the number of distinct elements.
+func (m multiset[T]) distinct() int { return len(m) }

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// ref builds the reference set (deduped, sorted) from a slice.
+func ref(xs []int) []int {
+	m := map[int]bool{}
+	for _, x := range xs {
+		m[x] = true
+	}
+	out := make([]int, 0, len(m))
+	for x := range m {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a sortedSet[int], b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSortedSetQuick(t *testing.T) {
+	if err := quick.Check(func(xs []int) bool {
+		return equalInts(newSortedSet(xs), ref(xs))
+	}, nil); err != nil {
+		t.Errorf("canonicalization: %v", err)
+	}
+	if err := quick.Check(func(xs, ys []int) bool {
+		u := newSortedSet(xs).union(newSortedSet(ys))
+		return equalInts(u, ref(append(append([]int{}, xs...), ys...)))
+	}, nil); err != nil {
+		t.Errorf("union: %v", err)
+	}
+	if err := quick.Check(func(xs []int, x int) bool {
+		s := newSortedSet(xs)
+		had := s.has(x)
+		s2, added := s.insert(x)
+		if added == had {
+			return false
+		}
+		// The original set must be untouched (sets are shared).
+		if !equalInts(s, ref(xs)) {
+			return false
+		}
+		return s2.has(x) && equalInts(s2, ref(append(append([]int{}, xs...), x)))
+	}, nil); err != nil {
+		t.Errorf("insert: %v", err)
+	}
+	if err := quick.Check(func(xs, ys []int) bool {
+		a, b := newSortedSet(xs), newSortedSet(ys)
+		u := a.union(b)
+		// union is an upper bound and is idempotent
+		for _, x := range a {
+			if !u.has(x) {
+				return false
+			}
+		}
+		return u.union(a).equal(u)
+	}, nil); err != nil {
+		t.Errorf("union laws: %v", err)
+	}
+}
+
+func TestSortedSetEdges(t *testing.T) {
+	var empty sortedSet[int]
+	if empty.has(1) {
+		t.Error("empty has")
+	}
+	if !empty.union(nil).equal(nil) {
+		t.Error("empty union")
+	}
+	s, added := empty.insert(5)
+	if !added || !s.has(5) || len(s) != 1 {
+		t.Error("insert into empty")
+	}
+	if _, again := s.insert(5); again {
+		t.Error("duplicate insert reported as new")
+	}
+}
+
+func TestMultiset(t *testing.T) {
+	m := multiset[string]{}
+	m.add("a", 1)
+	m.add("a", 2)
+	m.add("b", 1)
+	if m["a"] != 3 || m.distinct() != 2 {
+		t.Errorf("multiset = %v", m)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	d := newDeadline(0)
+	for i := 0; i < 1000; i++ {
+		if err := d.check(); err != nil {
+			t.Fatal("disarmed deadline fired")
+		}
+	}
+	d = newDeadline(1)
+	var err error
+	for i := 0; i < 10000 && err == nil; i++ {
+		err = d.check()
+	}
+	if err != ErrDeadline {
+		t.Fatalf("armed deadline did not fire: %v", err)
+	}
+}

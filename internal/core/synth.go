@@ -1,0 +1,61 @@
+package core
+
+import (
+	"cmp"
+
+	"swift/internal/ir"
+)
+
+// BottomUp is the bottom-up half of a Client: everything except the
+// top-down transfer functions. Section 5.1 of the paper observes that a
+// top-down analysis satisfying condition C1 can be synthesized from it
+// mechanically:
+//
+//	trans(c)(σ) = {σ′ | (σ,σ′) ∈ γ(rtrans(c)(id#))}.
+type BottomUp[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] interface {
+	Identity() R
+	RTrans(c *ir.Prim, r R) []R
+	RComp(r1, r2 R) []R
+	Applies(r R, s S) bool
+	Apply(r R, s S) []S
+	PreOf(r R) P
+	PreHolds(pre P, s S) bool
+	PreImplies(p, q P) bool
+	WPre(r R, post P) []P
+	Reduce(rels []R) []R
+}
+
+// FromBottomUp completes a bottom-up analysis into a full Client by
+// synthesizing Trans per the Section 5.1 recipe. The per-command relation
+// sets rtrans(c)(id#) are memoized, so the synthesized top-down transfer
+// costs one relation-set application per state.
+//
+// The resulting Client satisfies condition C1 by construction; the
+// remaining obligations on the bottom-up analysis (C2 for RComp, C3 for
+// WPre) are unchanged.
+func FromBottomUp[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](b BottomUp[S, R, P]) Client[S, R, P] {
+	return &synthClient[S, R, P]{BottomUp: b, memo: map[string][]R{}}
+}
+
+// synthClient derives Trans from the embedded bottom-up analysis.
+type synthClient[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
+	BottomUp[S, R, P]
+	memo map[string][]R
+}
+
+// Trans implements core.Client via the synthesis recipe.
+func (c *synthClient[S, R, P]) Trans(prim *ir.Prim, s S) []S {
+	key := prim.Key()
+	rels, ok := c.memo[key]
+	if !ok {
+		rels = c.RTrans(prim, c.Identity())
+		c.memo[key] = rels
+	}
+	var out []S
+	for _, r := range rels {
+		if c.Applies(r, s) {
+			out = append(out, c.Apply(r, s)...)
+		}
+	}
+	return newSortedSet(out)
+}

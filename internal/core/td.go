@@ -1,0 +1,288 @@
+package core
+
+import (
+	"cmp"
+
+	"swift/internal/ir"
+)
+
+// pathPair is a top-down path edge at a program point: the procedure was
+// entered in state in and has reached the point in state out. These pairs
+// are exactly what the paper's td: PC → 2^(S×S) map records.
+type pathPair[S cmp.Ordered] struct {
+	in  S
+	out S
+}
+
+// callerRec remembers a pending call so callee summaries can be plumbed back
+// to the return site: the caller was entered in state in and control resumes
+// at node ret.
+type callerRec[S cmp.Ordered] struct {
+	ret int
+	in  S
+}
+
+// TDResult holds the output of the top-down tabulation: the td map, the
+// procedure summary table, and the incoming-state bookkeeping used by SWIFT
+// for triggering and for ranking relational cases.
+type TDResult[S cmp.Ordered] struct {
+	// PathEdges is the td map, indexed by CFG node ID.
+	PathEdges []map[pathPair[S]]bool
+	// Summaries maps procedure → entry state → exit states. Each (entry,
+	// exit) pair is one "top-down summary" in the paper's accounting.
+	Summaries map[string]map[S]sortedSet[S]
+	// EntrySeen maps procedure → multiset of incoming abstract states. The
+	// multiplicity of σ is the number of distinct (call site, caller
+	// context) pairs that delivered σ; it drives the prune ranking.
+	EntrySeen map[string]multiset[S]
+	// NumPathEdges and NumSummaries are running totals used for budgets and
+	// reporting.
+	NumPathEdges int
+	NumSummaries int
+	// Steps counts worklist pops (a machine-independent cost measure).
+	Steps int
+}
+
+// SummaryCount returns the number of top-down summaries recorded for the
+// procedure.
+func (r *TDResult[S]) SummaryCount(proc string) int {
+	n := 0
+	for _, exits := range r.Summaries[proc] {
+		n += len(exits)
+	}
+	return n
+}
+
+// NodeStates returns the sorted abstract states recorded at a CFG node,
+// ignoring entry contexts.
+func (r *TDResult[S]) NodeStates(node int) []S {
+	var out []S
+	for p := range r.PathEdges[node] {
+		out = append(out, p.out)
+	}
+	return newSortedSet(out)
+}
+
+// AllStates returns the sorted distinct abstract states recorded at any
+// program point in any context — everything the analysis has shown may be
+// reached. Clients scan it for error states.
+func (r *TDResult[S]) AllStates() []S {
+	seen := map[S]bool{}
+	var out []S
+	for _, edges := range r.PathEdges {
+		for p := range edges {
+			if !seen[p.out] {
+				seen[p.out] = true
+				out = append(out, p.out)
+			}
+		}
+	}
+	return newSortedSet(out)
+}
+
+// NodeStatesIn returns the sorted abstract states recorded at a CFG node
+// for one entry context of the enclosing procedure.
+func (r *TDResult[S]) NodeStatesIn(node int, in S) []S {
+	var out []S
+	for p := range r.PathEdges[node] {
+		if p.in == in {
+			out = append(out, p.out)
+		}
+	}
+	return newSortedSet(out)
+}
+
+// EntryStates returns the sorted distinct incoming states of a procedure.
+func (r *TDResult[S]) EntryStates(proc string) []S {
+	m := r.EntrySeen[proc]
+	out := make([]S, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	return newSortedSet(out)
+}
+
+// interceptor lets the hybrid driver hook procedure calls in the tabulation:
+// beforeCall may answer a call from bottom-up summaries; afterCall observes
+// calls the tabulation handled itself (so the driver can check the trigger
+// condition).
+type interceptor[S cmp.Ordered] interface {
+	beforeCall(callee string, s S) (results []S, handled bool, err error)
+	afterCall(callee string, s S) error
+}
+
+// tdSolver runs the tabulation algorithm of Reps–Horwitz–Sagiv (the paper's
+// run_td) over the program CFG.
+type tdSolver[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
+	client  Client[S, R, P]
+	cfg     *ir.CFG
+	cfgOf   map[string]*ir.ProcCFG
+	config  Config
+	hook    interceptor[S]
+	res     *TDResult[S]
+	callers map[string]map[S][]callerRec[S]
+	work    []workItem[S]
+	head    int
+	dl      deadline
+}
+
+type workItem[S cmp.Ordered] struct {
+	node int
+	edge pathPair[S]
+}
+
+func newTDSolver[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
+	client Client[S, R, P], cfg *ir.CFG, config Config, hook interceptor[S],
+) *tdSolver[S, R, P] {
+	res := &TDResult[S]{
+		PathEdges: make([]map[pathPair[S]]bool, cfg.NodeCount),
+		Summaries: map[string]map[S]sortedSet[S]{},
+		EntrySeen: map[string]multiset[S]{},
+	}
+	for _, name := range cfg.Program.ProcNames() {
+		res.Summaries[name] = map[S]sortedSet[S]{}
+		res.EntrySeen[name] = multiset[S]{}
+	}
+	return &tdSolver[S, R, P]{
+		client:  client,
+		cfg:     cfg,
+		cfgOf:   cfg.ByProc,
+		config:  config,
+		hook:    hook,
+		res:     res,
+		callers: map[string]map[S][]callerRec[S]{},
+		dl:      newDeadline(config.Timeout),
+	}
+}
+
+// propagate inserts a path edge and schedules it if new.
+func (t *tdSolver[S, R, P]) propagate(node int, in, out S) error {
+	m := t.res.PathEdges[node]
+	if m == nil {
+		m = map[pathPair[S]]bool{}
+		t.res.PathEdges[node] = m
+	}
+	p := pathPair[S]{in: in, out: out}
+	if m[p] {
+		return nil
+	}
+	m[p] = true
+	t.res.NumPathEdges++
+	if t.res.NumPathEdges > t.config.MaxPathEdges {
+		return ErrBudget
+	}
+	t.work = append(t.work, workItem[S]{node: node, edge: p})
+	return nil
+}
+
+// seed enters the analysis at the program entry with the initial state.
+func (t *tdSolver[S, R, P]) seed(initial S) error {
+	entry := t.cfgOf[t.cfg.Program.Entry]
+	t.res.EntrySeen[t.cfg.Program.Entry].add(initial, 1)
+	return t.propagate(entry.Entry.ID, initial, initial)
+}
+
+// run drains the worklist to a fixpoint.
+func (t *tdSolver[S, R, P]) run() error {
+	for t.head < len(t.work) {
+		item := t.work[t.head]
+		t.head++
+		t.res.Steps++
+		if err := t.dl.check(); err != nil {
+			return err
+		}
+		if err := t.step(item); err != nil {
+			return err
+		}
+	}
+	// Release the drained worklist eagerly; long hybrid runs re-enter run
+	// after bottom-up triggers.
+	t.work = t.work[:0]
+	t.head = 0
+	return nil
+}
+
+func (t *tdSolver[S, R, P]) step(item workItem[S]) error {
+	node := t.cfg.AllNodes[item.node]
+	pc := t.cfgOf[node.Proc]
+	if node.ID == pc.Exit.ID {
+		if err := t.recordSummary(node.Proc, item.edge.in, item.edge.out); err != nil {
+			return err
+		}
+	}
+	for _, e := range node.Out {
+		if e.IsCall() {
+			if err := t.handleCall(e, item.edge.in, item.edge.out); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, s := range t.client.Trans(e.Prim, item.edge.out) {
+			if err := t.propagate(e.To.ID, item.edge.in, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// recordSummary adds (in → out) to the summary table of proc and resumes all
+// callers waiting on that entry state.
+func (t *tdSolver[S, R, P]) recordSummary(proc string, in, out S) error {
+	exits := t.res.Summaries[proc][in]
+	exits, added := exits.insert(out)
+	if !added {
+		return nil
+	}
+	t.res.Summaries[proc][in] = exits
+	t.res.NumSummaries++
+	if t.res.NumSummaries > t.config.MaxTDSummaries {
+		return ErrBudget
+	}
+	for _, c := range t.callers[proc][in] {
+		if err := t.propagate(c.ret, c.in, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleCall implements lines 9–21 of Algorithm 1 for one call edge: first
+// the hook (bottom-up summaries) gets a chance; otherwise the call is
+// tabulated top-down and the hook is notified so it can check the trigger.
+func (t *tdSolver[S, R, P]) handleCall(e *ir.Edge, callerIn, s S) error {
+	callee := e.Call
+	if t.hook != nil {
+		results, handled, err := t.hook.beforeCall(callee, s)
+		if err != nil {
+			return err
+		}
+		if handled {
+			for _, out := range results {
+				if err := t.propagate(e.To.ID, callerIn, out); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	t.res.EntrySeen[callee].add(s, 1)
+	byIn := t.callers[callee]
+	if byIn == nil {
+		byIn = map[S][]callerRec[S]{}
+		t.callers[callee] = byIn
+	}
+	byIn[s] = append(byIn[s], callerRec[S]{ret: e.To.ID, in: callerIn})
+	if err := t.propagate(t.cfgOf[callee].Entry.ID, s, s); err != nil {
+		return err
+	}
+	for _, out := range t.res.Summaries[callee][s] {
+		if err := t.propagate(e.To.ID, callerIn, out); err != nil {
+			return err
+		}
+	}
+	if t.hook != nil {
+		return t.hook.afterCall(callee, s)
+	}
+	return nil
+}

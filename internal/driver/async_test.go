@@ -1,0 +1,94 @@
+package driver
+
+import (
+	"testing"
+
+	"swift/internal/benchprog"
+	"swift/internal/core"
+	"swift/internal/typestate"
+)
+
+// TestAsyncHybridCoincides runs the asynchronous hybrid (the paper's
+// Section 7 parallelization sketch) and checks its abstract results
+// coincide with the top-down analysis even though summary usage is
+// timing-dependent. Run with -race to exercise the synchronization.
+func TestAsyncHybridCoincides(t *testing.T) {
+	b, err := FromSource(goodProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := core.Synchronized[typestate.AbsID, typestate.RelID, typestate.FormulaID](b.TS)
+	an, err := core.NewAnalysis[typestate.AbsID, typestate.RelID, typestate.FormulaID](sync, b.Lowered.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := b.TS.InitialState()
+	td := an.RunTD(init, core.TDConfig())
+	if !td.Completed() {
+		t.Fatal(td.Err)
+	}
+	entry := b.Lowered.Prog.Entry
+	want := td.ExitStates(entry, init)
+	cfg := core.DefaultConfig()
+	cfg.K = 2
+	for round := 0; round < 5; round++ {
+		async := an.RunSwiftAsync(init, cfg)
+		if !async.Completed() {
+			t.Fatalf("round %d: %v", round, async.Err)
+		}
+		got := async.ExitStates(entry, init)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: exit states %d, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("round %d: exit[%d] differs", round, i)
+			}
+		}
+		if errs := b.TS.ErrorSites(async.TD.AllStates()); len(errs) != 0 {
+			t.Errorf("round %d: spurious errors %v", round, errs)
+		}
+	}
+}
+
+func TestAsyncHybridOnBenchmark(t *testing.T) {
+	p, _ := benchprog.ProfileByName("elevator")
+	hprog, err := benchprog.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromHIR(hprog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := core.Synchronized[typestate.AbsID, typestate.RelID, typestate.FormulaID](b.TS)
+	an, err := core.NewAnalysis[typestate.AbsID, typestate.RelID, typestate.FormulaID](sync, b.Lowered.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := b.TS.InitialState()
+	td := an.RunTD(init, core.TDConfig())
+	if !td.Completed() {
+		t.Fatal(td.Err)
+	}
+	async := an.RunSwiftAsync(init, core.DefaultConfig())
+	if !async.Completed() {
+		t.Fatal(async.Err)
+	}
+	entry := b.Lowered.Prog.Entry
+	want := td.ExitStates(entry, init)
+	got := async.ExitStates(entry, init)
+	if len(got) != len(want) {
+		t.Fatalf("exit states %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("exit[%d] differs", i)
+		}
+	}
+	wantErrs := b.TS.ErrorSites(td.TD.AllStates())
+	gotErrs := b.TS.ErrorSites(async.TD.AllStates())
+	if len(wantErrs) != len(gotErrs) {
+		t.Errorf("error sites differ: %v vs %v", wantErrs, gotErrs)
+	}
+}

@@ -1,0 +1,307 @@
+// Package hir defines the high-level intermediate representation of
+// mini-Java programs: classes with single inheritance, instance methods,
+// reference-typed fields and locals, virtual dispatch, and type-state
+// properties governing tracked built-in types (File, Iterator, …).
+//
+// The HIR plays the role of Chord's program representation in the paper's
+// toolchain: package source parses mini-Java into HIR, package pointer runs
+// a 0-CFA points-to/call-graph analysis over it, and package lower
+// translates it into the command IR that the analyses consume. Benchmark
+// generators construct HIR programmatically.
+package hir
+
+import (
+	"fmt"
+	"sort"
+
+	"swift/internal/typestate"
+)
+
+// Program is a mini-Java program: a set of classes, the type-state
+// properties of its tracked built-in types, and a designated entry method.
+type Program struct {
+	// Classes in declaration order.
+	Classes []*Class
+	// Properties maps tracked type names (e.g. "File") to their type-state
+	// property.
+	Properties map[string]*typestate.Property
+	// EntryClass and EntryMethod name the root method (conventionally
+	// Main.main). The entry method is static: it has no receiver.
+	EntryClass  string
+	EntryMethod string
+
+	classByName map[string]*Class
+}
+
+// NewProgram returns an empty program with the conventional Main.main
+// entry.
+func NewProgram() *Program {
+	return &Program{
+		Properties:  map[string]*typestate.Property{},
+		EntryClass:  "Main",
+		EntryMethod: "main",
+		classByName: map[string]*Class{},
+	}
+}
+
+// AddClass appends a class. Duplicate names are reported by Validate.
+func (p *Program) AddClass(c *Class) {
+	p.Classes = append(p.Classes, c)
+	if p.classByName == nil {
+		p.classByName = map[string]*Class{}
+	}
+	if _, dup := p.classByName[c.Name]; !dup {
+		p.classByName[c.Name] = c
+	}
+}
+
+// Class returns the class with the given name, or nil.
+func (p *Program) Class(name string) *Class { return p.classByName[name] }
+
+// AddProperty registers a tracked built-in type.
+func (p *Program) AddProperty(prop *typestate.Property) { p.Properties[prop.Name] = prop }
+
+// Entry returns the entry method, or nil if missing.
+func (p *Program) Entry() *Method {
+	c := p.Class(p.EntryClass)
+	if c == nil {
+		return nil
+	}
+	return c.Method(p.EntryMethod)
+}
+
+// Lookup resolves a method name on a class, walking the superclass chain
+// (Java virtual dispatch). It returns nil if no class in the chain defines
+// the method.
+func (p *Program) Lookup(class, method string) *Method {
+	for c := p.Class(class); c != nil; c = p.Class(c.Super) {
+		if m := c.Method(method); m != nil {
+			return m
+		}
+		if c.Super == "" {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Class is a program class with single inheritance.
+type Class struct {
+	Name   string
+	Super  string // "" for none
+	Fields []string
+	// Methods in declaration order.
+	Methods []*Method
+
+	methodByName map[string]*Method
+}
+
+// NewClass returns an empty class.
+func NewClass(name, super string) *Class {
+	return &Class{Name: name, Super: super, methodByName: map[string]*Method{}}
+}
+
+// AddMethod appends a method and binds its Class back-pointer.
+func (c *Class) AddMethod(m *Method) {
+	m.Class = c
+	c.Methods = append(c.Methods, m)
+	if c.methodByName == nil {
+		c.methodByName = map[string]*Method{}
+	}
+	if _, dup := c.methodByName[m.Name]; !dup {
+		c.methodByName[m.Name] = m
+	}
+}
+
+// Method returns the directly declared method with the given name, or nil.
+func (c *Class) Method(name string) *Method { return c.methodByName[name] }
+
+// Method is an instance method. The entry method is the only static one.
+type Method struct {
+	Name   string
+	Class  *Class
+	Params []string
+	Body   *Block
+}
+
+// QName returns the globally unique procedure name "Class.method".
+func (m *Method) QName() string { return m.Class.Name + "." + m.Name }
+
+// QVar returns the globally unique lowered name of a variable in this
+// method's frame: "Class.method$v". The lowering and the pointer analysis
+// share this namespace.
+func (m *Method) QVar(v string) string { return m.QName() + "$" + v }
+
+// ThisVar is the name of the implicit receiver parameter.
+const ThisVar = "this"
+
+// RetVar is the name of the implicit return-value variable.
+const RetVar = "$ret"
+
+// Locals returns the sorted variables assigned in the body that are neither
+// parameters nor the receiver.
+func (m *Method) Locals() []string {
+	set := map[string]bool{}
+	collectAssigned(m.Body, set)
+	delete(set, ThisVar)
+	for _, p := range m.Params {
+		delete(set, p)
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectAssigned(s Stmt, set map[string]bool) {
+	switch s := s.(type) {
+	case *Block:
+		for _, st := range s.Stmts {
+			collectAssigned(st, set)
+		}
+	case *If:
+		collectAssigned(s.Then, set)
+		if s.Else != nil {
+			collectAssigned(s.Else, set)
+		}
+	case *While:
+		collectAssigned(s.Body, set)
+	case *Assign:
+		set[s.Dst] = true
+	case *LoadStmt:
+		set[s.Dst] = true
+	case *NewStmt:
+		set[s.Dst] = true
+	case *CallStmt:
+		if s.Dst != "" {
+			set[s.Dst] = true
+		}
+	}
+}
+
+// Stmt is a statement. Conditions of if/while are abstracted away
+// (non-deterministic), matching the command language the analyses consume.
+type Stmt interface{ isStmt() }
+
+// Block is a statement sequence.
+type Block struct{ Stmts []Stmt }
+
+// If is a two-way branch with abstracted condition. Else may be nil.
+type If struct {
+	Then Stmt
+	Else Stmt
+}
+
+// While is a loop with abstracted condition.
+type While struct{ Body Stmt }
+
+// Skip is the empty statement.
+type Skip struct{}
+
+// Assign is "dst = src" between locals.
+type Assign struct{ Dst, Src string }
+
+// LoadStmt is "dst = base.field".
+type LoadStmt struct{ Dst, Base, Field string }
+
+// StoreStmt is "base.field = src".
+type StoreStmt struct{ Base, Field, Src string }
+
+// NewStmt is "dst = new Type" with an allocation-site label. Type is either
+// a class name or a tracked property type name. Empty Site labels are
+// assigned by Finalize.
+type NewStmt struct{ Dst, Type, Site string }
+
+// CallStmt is a method call: "dst = recv.method(args)". Recv == "" means a
+// call through the implicit receiver ("this.method(args)"); Dst == "" means
+// the result is unused. If method belongs to a tracked property it is a
+// type-state transition, otherwise a virtual call.
+type CallStmt struct {
+	Dst    string
+	Recv   string
+	Method string
+	Args   []string
+}
+
+// Return is "return src"; Validate only accepts it as the final statement
+// of a method body.
+type Return struct{ Src string }
+
+func (*Block) isStmt()     {}
+func (*If) isStmt()        {}
+func (*While) isStmt()     {}
+func (*Skip) isStmt()      {}
+func (*Assign) isStmt()    {}
+func (*LoadStmt) isStmt()  {}
+func (*StoreStmt) isStmt() {}
+func (*NewStmt) isStmt()   {}
+func (*CallStmt) isStmt()  {}
+func (*Return) isStmt()    {}
+
+// Finalize assigns fresh labels to unlabeled allocation sites
+// ("Type_k" in program order) and must be called before Validate when the
+// program was built programmatically.
+func (p *Program) Finalize() {
+	counter := map[string]int{}
+	used := map[string]bool{}
+	var walk func(s Stmt)
+	walk = func(s Stmt) {
+		switch s := s.(type) {
+		case *Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *If:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *While:
+			walk(s.Body)
+		case *NewStmt:
+			if s.Site != "" {
+				used[s.Site] = true
+			}
+		}
+	}
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			walk(m.Body)
+		}
+	}
+	var label func(s Stmt)
+	label = func(s Stmt) {
+		switch s := s.(type) {
+		case *Block:
+			for _, st := range s.Stmts {
+				label(st)
+			}
+		case *If:
+			label(s.Then)
+			if s.Else != nil {
+				label(s.Else)
+			}
+		case *While:
+			label(s.Body)
+		case *NewStmt:
+			if s.Site == "" {
+				for {
+					counter[s.Type]++
+					cand := fmt.Sprintf("%s_%d", s.Type, counter[s.Type])
+					if !used[cand] {
+						s.Site = cand
+						used[cand] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			label(m.Body)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package hir
+
+import (
+	"strings"
+	"testing"
+
+	"swift/internal/typestate"
+)
+
+func buildProgram() *Program {
+	p := NewProgram()
+	p.AddProperty(typestate.FileProperty())
+	base := NewClass("Base", "")
+	base.AddMethod(&Method{Name: "hook", Body: &Block{Stmts: []Stmt{&Skip{}}}})
+	p.AddClass(base)
+	sub := NewClass("Sub", "Base")
+	sub.AddMethod(&Method{Name: "hook", Body: &Block{Stmts: []Stmt{&Skip{}}}})
+	p.AddClass(sub)
+	leaf := NewClass("Leaf", "Sub")
+	p.AddClass(leaf)
+	main := NewClass("Main", "")
+	main.AddMethod(&Method{Name: "main", Body: &Block{Stmts: []Stmt{
+		&NewStmt{Dst: "f", Type: "File"},
+		&NewStmt{Dst: "l", Type: "Leaf"},
+		&CallStmt{Recv: "l", Method: "hook"},
+	}}})
+	p.AddClass(main)
+	p.Finalize()
+	return p
+}
+
+func TestLookupWalksSuperChain(t *testing.T) {
+	p := buildProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	m := p.Lookup("Leaf", "hook")
+	if m == nil || m.Class.Name != "Sub" {
+		t.Fatalf("Lookup(Leaf, hook) resolved to %v, want Sub.hook", m)
+	}
+	if p.Lookup("Base", "nothing") != nil {
+		t.Error("Lookup of undefined method should be nil")
+	}
+	if p.Lookup("Ghost", "hook") != nil {
+		t.Error("Lookup on unknown class should be nil")
+	}
+}
+
+func TestFinalizeAssignsUniqueSites(t *testing.T) {
+	p := buildProgram()
+	sites := map[string]bool{}
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			var walk func(s Stmt)
+			walk = func(s Stmt) {
+				switch s := s.(type) {
+				case *Block:
+					for _, st := range s.Stmts {
+						walk(st)
+					}
+				case *NewStmt:
+					if s.Site == "" {
+						t.Errorf("unlabeled site after Finalize: %v", s)
+					}
+					if sites[s.Site] {
+						t.Errorf("duplicate site %q", s.Site)
+					}
+					sites[s.Site] = true
+				}
+			}
+			walk(m.Body)
+		}
+	}
+	if len(sites) != 2 {
+		t.Errorf("found %d sites, want 2", len(sites))
+	}
+}
+
+func TestQNames(t *testing.T) {
+	p := buildProgram()
+	m := p.Lookup("Sub", "hook")
+	if got := m.QName(); got != "Sub.hook" {
+		t.Errorf("QName = %q", got)
+	}
+	if got := m.QVar("x"); got != "Sub.hook$x" {
+		t.Errorf("QVar = %q", got)
+	}
+}
+
+func TestLocals(t *testing.T) {
+	m := &Method{Name: "m", Params: []string{"p"}, Body: &Block{Stmts: []Stmt{
+		&Assign{Dst: "a", Src: "p"},
+		&If{Then: &Block{Stmts: []Stmt{&LoadStmt{Dst: "b", Base: "a", Field: "f"}}}},
+		&While{Body: &Block{Stmts: []Stmt{&CallStmt{Dst: "c", Recv: "a", Method: "m"}}}},
+		&Assign{Dst: "p", Src: "a"}, // parameter, not a local
+		&Assign{Dst: ThisVar, Src: "a"},
+	}}}
+	got := m.Locals()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Locals = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Locals = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValidateEntryRules(t *testing.T) {
+	p := NewProgram()
+	main := NewClass("Main", "")
+	main.AddMethod(&Method{Name: "main", Params: []string{"oops"}, Body: &Block{}})
+	p.AddClass(main)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "no parameters") {
+		t.Errorf("parametered entry accepted: %v", err)
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	p := buildProgram()
+	if n := LineCount(p); n < 10 {
+		t.Errorf("LineCount = %d, suspiciously small", n)
+	}
+}

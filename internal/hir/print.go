@@ -1,0 +1,102 @@
+package hir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Print renders the program in the mini-Java surface syntax accepted by
+// package source. Round-tripping through Print and the parser yields an
+// equivalent program; the benchmark suite also uses Print for its
+// line-of-code accounting.
+func Print(p *Program) string {
+	var b strings.Builder
+	names := make([]string, 0, len(p.Properties))
+	for n := range p.Properties {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		prop := p.Properties[n]
+		fmt.Fprintf(&b, "property %s {\n", prop.Name)
+		fmt.Fprintf(&b, "  states %s\n", strings.Join(prop.States, " "))
+		fmt.Fprintf(&b, "  error %s\n", prop.States[prop.Error])
+		for _, m := range prop.MethodNames() {
+			tab := prop.Methods[m]
+			for from, to := range tab {
+				if tab[from] == prop.Error {
+					continue // implied: unlisted transitions go to error
+				}
+				fmt.Fprintf(&b, "  %s: %s -> %s\n", m, prop.States[from], prop.States[to])
+			}
+		}
+		b.WriteString("}\n\n")
+	}
+	for _, c := range p.Classes {
+		if c.Super != "" {
+			fmt.Fprintf(&b, "class %s extends %s {\n", c.Name, c.Super)
+		} else {
+			fmt.Fprintf(&b, "class %s {\n", c.Name)
+		}
+		for _, f := range c.Fields {
+			fmt.Fprintf(&b, "  field %s\n", f)
+		}
+		for _, m := range c.Methods {
+			fmt.Fprintf(&b, "  method %s(%s) {\n", m.Name, strings.Join(m.Params, ", "))
+			printStmt(&b, m.Body, 2)
+			b.WriteString("  }\n")
+		}
+		b.WriteString("}\n\n")
+	}
+	return b.String()
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch s := s.(type) {
+	case *Block:
+		for _, st := range s.Stmts {
+			printStmt(b, st, depth)
+		}
+	case *If:
+		b.WriteString(ind + "if (*) {\n")
+		printStmt(b, s.Then, depth+1)
+		if s.Else != nil {
+			b.WriteString(ind + "} else {\n")
+			printStmt(b, s.Else, depth+1)
+		}
+		b.WriteString(ind + "}\n")
+	case *While:
+		b.WriteString(ind + "while (*) {\n")
+		printStmt(b, s.Body, depth+1)
+		b.WriteString(ind + "}\n")
+	case *Skip:
+		b.WriteString(ind + "skip\n")
+	case *Assign:
+		fmt.Fprintf(b, "%s%s = %s\n", ind, s.Dst, s.Src)
+	case *LoadStmt:
+		fmt.Fprintf(b, "%s%s = %s.%s\n", ind, s.Dst, s.Base, s.Field)
+	case *StoreStmt:
+		fmt.Fprintf(b, "%s%s.%s = %s\n", ind, s.Base, s.Field, s.Src)
+	case *NewStmt:
+		fmt.Fprintf(b, "%s%s = new %s @%s\n", ind, s.Dst, s.Type, s.Site)
+	case *CallStmt:
+		b.WriteString(ind)
+		if s.Dst != "" {
+			fmt.Fprintf(b, "%s = ", s.Dst)
+		}
+		if s.Recv != "" {
+			fmt.Fprintf(b, "%s.", s.Recv)
+		}
+		fmt.Fprintf(b, "%s(%s)\n", s.Method, strings.Join(s.Args, ", "))
+	case *Return:
+		fmt.Fprintf(b, "%sreturn %s\n", ind, s.Src)
+	}
+}
+
+// LineCount returns the number of lines Print would produce, the program's
+// "KLOC" measure in the benchmark characteristics table.
+func LineCount(p *Program) int {
+	return strings.Count(Print(p), "\n")
+}

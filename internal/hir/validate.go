@@ -1,0 +1,147 @@
+package hir
+
+import (
+	"fmt"
+)
+
+// Validate checks the structural and naming rules the rest of the toolchain
+// relies on:
+//
+//   - class names are unique and do not clash with property names;
+//   - superclasses exist and the inheritance relation is acyclic;
+//   - method names are unique within a class, and no method name is shared
+//     between a property and a class (so every call site is unambiguously a
+//     virtual call or a type-state transition);
+//   - allocation-site labels are globally unique and allocate known types;
+//   - every called method is defined by some class or property;
+//   - return appears only as the last statement of a method body;
+//   - the entry method exists and has no parameters.
+func (p *Program) Validate() error {
+	seenClass := map[string]bool{}
+	for _, c := range p.Classes {
+		if seenClass[c.Name] {
+			return fmt.Errorf("hir: duplicate class %q", c.Name)
+		}
+		seenClass[c.Name] = true
+		if _, isProp := p.Properties[c.Name]; isProp {
+			return fmt.Errorf("hir: class %q clashes with a property name", c.Name)
+		}
+	}
+	// Superclass existence and acyclicity.
+	for _, c := range p.Classes {
+		if c.Super != "" && p.Class(c.Super) == nil {
+			return fmt.Errorf("hir: class %q extends unknown class %q", c.Name, c.Super)
+		}
+		slow, fast := c, c
+		for fast != nil && fast.Super != "" {
+			fast = p.Class(fast.Super)
+			if fast == nil || fast.Super == "" {
+				break
+			}
+			fast = p.Class(fast.Super)
+			slow = p.Class(slow.Super)
+			if fast == slow && fast != nil {
+				return fmt.Errorf("hir: inheritance cycle through class %q", c.Name)
+			}
+		}
+	}
+	// Method name rules.
+	propMethods := map[string]string{} // method → property name
+	for name, prop := range p.Properties {
+		for m := range prop.Methods {
+			propMethods[m] = name
+		}
+	}
+	classMethods := map[string]bool{}
+	for _, c := range p.Classes {
+		seen := map[string]bool{}
+		for _, m := range c.Methods {
+			if seen[m.Name] {
+				return fmt.Errorf("hir: class %q declares method %q twice", c.Name, m.Name)
+			}
+			seen[m.Name] = true
+			classMethods[m.Name] = true
+			if prop, clash := propMethods[m.Name]; clash {
+				return fmt.Errorf("hir: method %s.%s clashes with property %s method",
+					c.Name, m.Name, prop)
+			}
+		}
+	}
+	// Per-method statement rules and site/type checks.
+	sites := map[string]string{} // site → method qname
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			if err := p.validateBody(m, sites, propMethods, classMethods); err != nil {
+				return err
+			}
+		}
+	}
+	// Entry.
+	entry := p.Entry()
+	if entry == nil {
+		return fmt.Errorf("hir: entry method %s.%s not found", p.EntryClass, p.EntryMethod)
+	}
+	if len(entry.Params) != 0 {
+		return fmt.Errorf("hir: entry method %s must have no parameters", entry.QName())
+	}
+	return nil
+}
+
+func (p *Program) validateBody(m *Method, sites map[string]string, propMethods map[string]string, classMethods map[string]bool) error {
+	var check func(s Stmt, topLevel bool, last bool) error
+	check = func(s Stmt, topLevel, last bool) error {
+		switch s := s.(type) {
+		case *Block:
+			for i, st := range s.Stmts {
+				if err := check(st, topLevel, last && i == len(s.Stmts)-1); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *If:
+			if err := check(s.Then, false, false); err != nil {
+				return err
+			}
+			if s.Else != nil {
+				return check(s.Else, false, false)
+			}
+			return nil
+		case *While:
+			return check(s.Body, false, false)
+		case *NewStmt:
+			if s.Site == "" {
+				return fmt.Errorf("hir: %s: unlabeled allocation site (call Finalize first)", m.QName())
+			}
+			if prev, dup := sites[s.Site]; dup {
+				return fmt.Errorf("hir: %s: allocation site %q already used in %s", m.QName(), s.Site, prev)
+			}
+			sites[s.Site] = m.QName()
+			if p.Class(s.Type) == nil {
+				if _, isProp := p.Properties[s.Type]; !isProp {
+					return fmt.Errorf("hir: %s: new of unknown type %q", m.QName(), s.Type)
+				}
+			}
+			return nil
+		case *CallStmt:
+			_, isTS := propMethods[s.Method]
+			if !isTS && !classMethods[s.Method] {
+				return fmt.Errorf("hir: %s: call to undefined method %q", m.QName(), s.Method)
+			}
+			if isTS && s.Recv == "" {
+				return fmt.Errorf("hir: %s: type-state method %q needs an explicit receiver", m.QName(), s.Method)
+			}
+			if s.Recv == "" && m.QName() == p.EntryClass+"."+p.EntryMethod {
+				return fmt.Errorf("hir: %s: the static entry method has no receiver for call to %q", m.QName(), s.Method)
+			}
+			return nil
+		case *Return:
+			if !topLevel || !last {
+				return fmt.Errorf("hir: %s: return must be the final statement of the method body", m.QName())
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return check(m.Body, true, true)
+}

@@ -1,0 +1,231 @@
+// Package interp is a concrete interpreter for the command IR: it executes
+// programs over a real heap of objects with real type-state machines,
+// resolving non-deterministic choices and loop iteration counts from a
+// seeded random source.
+//
+// Its purpose is validation: any type-state error that occurs in some
+// concrete execution must be predicted by the abstract analyses (soundness
+// of the over-approximation), and the set of concrete (site, state) pairs
+// observed at program exit must be covered by the abstract exit states.
+// The soundness test suites drive random programs through both this
+// interpreter and the three analysis engines and compare.
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"swift/internal/ir"
+	"swift/internal/typestate"
+)
+
+// Object is a concrete heap object with a type-state.
+type Object struct {
+	// Site is the allocation site label.
+	Site string
+	// State is the current FSM state index, or 0 for untracked objects.
+	State typestate.State
+	// Prop is the object's property, nil if untracked.
+	Prop *typestate.Property
+	// Fields holds reference-valued fields.
+	Fields map[string]*Object
+	// Err records that the object entered its error state at some point
+	// (the error state is absorbing, but we latch explicitly for clarity).
+	Err bool
+}
+
+// Config bounds an execution.
+type Config struct {
+	// MaxSteps bounds primitive executions (loops are unbounded
+	// otherwise).
+	MaxSteps int
+	// MaxLoopIter bounds each loop's iteration count; each entry draws a
+	// count in [0, MaxLoopIter].
+	MaxLoopIter int
+	// Seed drives choice and loop resolution.
+	Seed int64
+}
+
+// DefaultConfig returns reasonable execution bounds.
+func DefaultConfig(seed int64) Config {
+	return Config{MaxSteps: 100_000, MaxLoopIter: 3, Seed: seed}
+}
+
+// Result summarizes one concrete execution.
+type Result struct {
+	// Steps is the number of primitives executed.
+	Steps int
+	// ErrorSites lists sites whose objects entered an error state, sorted.
+	ErrorSites []string
+	// Exit holds the (site, state-name) pairs of all tracked objects
+	// allocated during the run, at program exit.
+	Exit []SiteState
+	// Truncated reports that MaxSteps was hit (the execution is a prefix).
+	Truncated bool
+}
+
+// SiteState is a concrete object's site and final state name.
+type SiteState struct {
+	Site  string
+	State string
+	Err   bool
+}
+
+// Interp executes programs.
+type Interp struct {
+	prog  *ir.Program
+	track map[string]*typestate.Property
+	cfg   Config
+
+	rng     *rand.Rand
+	vars    map[string]*Object
+	objects []*Object
+	steps   int
+	errs    map[string]bool
+}
+
+// New prepares an interpreter for a program with the given tracked-site
+// map (same shape as the type-state analysis').
+func New(prog *ir.Program, track map[string]*typestate.Property, cfg Config) *Interp {
+	return &Interp{
+		prog:  prog,
+		track: track,
+		cfg:   cfg,
+	}
+}
+
+// Run executes the program once from its entry procedure.
+func (in *Interp) Run() (*Result, error) {
+	in.rng = rand.New(rand.NewSource(in.cfg.Seed))
+	in.vars = map[string]*Object{}
+	in.objects = nil
+	in.steps = 0
+	in.errs = map[string]bool{}
+	truncated := false
+	if err := in.cmd(in.prog.Procs[in.prog.Entry].Body); err != nil {
+		if err == errBudget {
+			truncated = true
+		} else {
+			return nil, err
+		}
+	}
+	res := &Result{Steps: in.steps, Truncated: truncated}
+	for site := range in.errs {
+		res.ErrorSites = append(res.ErrorSites, site)
+	}
+	sortStrings(res.ErrorSites)
+	for _, o := range in.objects {
+		res.Exit = append(res.Exit, SiteState{
+			Site:  o.Site,
+			State: o.Prop.States[o.State],
+			Err:   o.Err,
+		})
+	}
+	return res, nil
+}
+
+// errBudget aborts an execution that exceeded MaxSteps.
+var errBudget = fmt.Errorf("interp: step budget exhausted")
+
+func (in *Interp) tick() error {
+	in.steps++
+	if in.steps > in.cfg.MaxSteps {
+		return errBudget
+	}
+	return nil
+}
+
+func (in *Interp) cmd(c ir.Cmd) error {
+	switch c := c.(type) {
+	case *ir.Prim:
+		return in.prim(c)
+	case *ir.Seq:
+		for _, s := range c.Cmds {
+			if err := in.cmd(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ir.Choice:
+		return in.cmd(c.Alts[in.rng.Intn(len(c.Alts))])
+	case *ir.Loop:
+		n := in.rng.Intn(in.cfg.MaxLoopIter + 1)
+		for i := 0; i < n; i++ {
+			if err := in.cmd(c.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ir.Call:
+		proc, ok := in.prog.Procs[c.Callee]
+		if !ok {
+			return fmt.Errorf("interp: call to unknown procedure %q", c.Callee)
+		}
+		return in.cmd(proc.Body)
+	}
+	return fmt.Errorf("interp: unknown command %T", c)
+}
+
+func (in *Interp) prim(p *ir.Prim) error {
+	if err := in.tick(); err != nil {
+		return err
+	}
+	switch p.Kind {
+	case ir.Nop, ir.Assert:
+		return nil
+	case ir.New:
+		o := &Object{Site: p.Site, Fields: map[string]*Object{}}
+		if prop, tracked := in.track[p.Site]; tracked {
+			o.Prop = prop
+			in.objects = append(in.objects, o)
+		}
+		in.vars[p.Dst] = o
+		return nil
+	case ir.Copy:
+		in.vars[p.Dst] = in.vars[p.Src]
+		return nil
+	case ir.Load:
+		base := in.vars[p.Src]
+		if base == nil {
+			in.vars[p.Dst] = nil // null dereference: model as null result
+			return nil
+		}
+		in.vars[p.Dst] = base.Fields[p.Field]
+		return nil
+	case ir.Store:
+		base := in.vars[p.Dst]
+		if base == nil {
+			return nil // null dereference: no concrete effect to model
+		}
+		base.Fields[p.Field] = in.vars[p.Src]
+		return nil
+	case ir.TSCall:
+		o := in.vars[p.Dst]
+		if o == nil || o.Prop == nil {
+			return nil // call on null or untracked object
+		}
+		tab, defined := o.Prop.Methods[p.Method]
+		if !defined {
+			return nil // method outside the property's alphabet
+		}
+		o.State = tab[o.State]
+		if o.State == o.Prop.Error {
+			o.Err = true
+			in.errs[o.Site] = true
+		}
+		return nil
+	case ir.Kill:
+		// Scope end: the variable no longer refers to the object.
+		delete(in.vars, p.Dst)
+		return nil
+	}
+	return fmt.Errorf("interp: unknown primitive %v", p.Kind)
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

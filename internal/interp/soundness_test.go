@@ -1,0 +1,207 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"swift/internal/core"
+	"swift/internal/ir"
+	"swift/internal/typestate"
+)
+
+// This file cross-validates the abstract analyses against concrete
+// executions: on randomized programs, everything the interpreter observes
+// (errors, exit type-states) must be covered by what the top-down analysis
+// — and therefore, by coincidence, all three engines — predicts.
+
+// randomProgram mirrors the coincidence-test generator: small programs
+// with sequencing, choice, loops, calls and every primitive form.
+func randomProgram(rng *rand.Rand) *ir.Program {
+	vars := []string{"a", "b", "c"}
+	sites := []string{"s1", "s2", "s3"}
+	methods := []string{"open", "close", "read"}
+	numProcs := 2 + rng.Intn(3)
+	procName := func(i int) string { return fmt.Sprintf("p%d", i) }
+	randVar := func() string { return vars[rng.Intn(len(vars))] }
+	randPrim := func() ir.Cmd {
+		switch rng.Intn(8) {
+		case 0:
+			return &ir.Prim{Kind: ir.New, Dst: randVar(), Site: sites[rng.Intn(len(sites))]}
+		case 1:
+			return &ir.Prim{Kind: ir.Copy, Dst: randVar(), Src: randVar()}
+		case 2:
+			return &ir.Prim{Kind: ir.Load, Dst: randVar(), Src: randVar(), Field: "f"}
+		case 3:
+			return &ir.Prim{Kind: ir.Store, Dst: randVar(), Field: "f", Src: randVar()}
+		case 4, 5:
+			return &ir.Prim{Kind: ir.TSCall, Dst: randVar(), Method: methods[rng.Intn(len(methods))]}
+		case 6:
+			return &ir.Prim{Kind: ir.Kill, Dst: randVar()}
+		default:
+			return &ir.Prim{Kind: ir.Nop}
+		}
+	}
+	var randCmd func(depth, self int) ir.Cmd
+	randCmd = func(depth, self int) ir.Cmd {
+		if depth > 0 {
+			switch rng.Intn(6) {
+			case 0:
+				return &ir.Choice{Alts: []ir.Cmd{randCmd(depth-1, self), randCmd(depth-1, self)}}
+			case 1:
+				return &ir.Loop{Body: randCmd(depth-1, self)}
+			case 2:
+				if self+1 < numProcs {
+					return &ir.Call{Callee: procName(self + 1 + rng.Intn(numProcs-self-1))}
+				}
+			}
+		}
+		n := 1 + rng.Intn(3)
+		seq := make([]ir.Cmd, n)
+		for i := range seq {
+			seq[i] = randPrim()
+		}
+		return &ir.Seq{Cmds: seq}
+	}
+	prog := ir.NewProgram(procName(0))
+	for i := 0; i < numProcs; i++ {
+		body := make([]ir.Cmd, 2+rng.Intn(3))
+		for j := range body {
+			body[j] = randCmd(2, i)
+		}
+		prog.Add(&ir.Proc{Name: procName(i), Body: &ir.Seq{Cmds: body}})
+	}
+	return prog
+}
+
+func TestAbstractCoversConcrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	file := typestate.FileProperty()
+	for trial := 0; trial < 40; trial++ {
+		prog := randomProgram(rng)
+		track := map[string]*typestate.Property{"s1": file, "s2": file}
+		ts, err := typestate.NewAnalysis(prog, track, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		an, err := core.NewAnalysis[typestate.AbsID, typestate.RelID, typestate.FormulaID](ts, prog)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res := an.RunTD(ts.InitialState(), core.TDConfig())
+		if !res.Completed() {
+			t.Fatalf("trial %d: TD did not complete: %v", trial, res.Err)
+		}
+		// Abstract facts: error sites anywhere, and (site, state) pairs at
+		// the exit of the entry procedure.
+		absErrors := map[string]bool{}
+		for _, site := range ts.ErrorSites(res.TD.AllStates()) {
+			absErrors[site] = true
+		}
+		absExit := map[SiteState]bool{}
+		for _, s := range res.ExitStates(prog.Entry, ts.InitialState()) {
+			if ts.Site(s) == "<none>" {
+				continue
+			}
+			absExit[SiteState{Site: ts.Site(s), State: ts.StateName(s), Err: ts.IsError(s)}] = true
+		}
+
+		for run := 0; run < 30; run++ {
+			in := New(prog, track, DefaultConfig(int64(trial*1000+run)))
+			got, err := in.Run()
+			if err != nil {
+				t.Fatalf("trial %d run %d: %v", trial, run, err)
+			}
+			// Soundness of error reporting: a concrete error site must be
+			// abstractly reported — even on truncated runs (the error
+			// already happened in the executed prefix).
+			for _, site := range got.ErrorSites {
+				if !absErrors[site] {
+					t.Fatalf("trial %d run %d: concrete error at %s missed by the analysis\n%s",
+						trial, run, site, ir.Print(prog))
+				}
+			}
+			if got.Truncated {
+				continue
+			}
+			// Coverage of exit states: every concrete tracked object's
+			// final (site, state) must appear among the abstract exit
+			// tuples.
+			for _, ss := range got.Exit {
+				if !absExit[ss] {
+					t.Fatalf("trial %d run %d: concrete exit %v not covered; abstract exit %v\n%s",
+						trial, run, ss, absExit, ir.Print(prog))
+				}
+			}
+		}
+	}
+}
+
+func TestInterpDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prog := randomProgram(rng)
+	track := map[string]*typestate.Property{"s1": typestate.FileProperty()}
+	a, err := New(prog, track, DefaultConfig(42)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(prog, track, DefaultConfig(42)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || len(a.Exit) != len(b.Exit) {
+		t.Errorf("same seed, different executions: %+v vs %+v", a, b)
+	}
+}
+
+func TestInterpBasics(t *testing.T) {
+	// open; close is clean; read-after-close errors.
+	prog := ir.NewProgram("main")
+	prog.Add(&ir.Proc{Name: "main", Body: &ir.Seq{Cmds: []ir.Cmd{
+		&ir.Prim{Kind: ir.New, Dst: "f", Site: "h1"},
+		&ir.Prim{Kind: ir.TSCall, Dst: "f", Method: "open"},
+		&ir.Prim{Kind: ir.TSCall, Dst: "f", Method: "close"},
+		&ir.Prim{Kind: ir.TSCall, Dst: "f", Method: "read"},
+	}}})
+	track := map[string]*typestate.Property{"h1": typestate.FileProperty()}
+	res, err := New(prog, track, DefaultConfig(1)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ErrorSites) != 1 || res.ErrorSites[0] != "h1" {
+		t.Errorf("ErrorSites = %v", res.ErrorSites)
+	}
+	if len(res.Exit) != 1 || !res.Exit[0].Err || res.Exit[0].State != "error" {
+		t.Errorf("Exit = %v", res.Exit)
+	}
+	if res.Steps != 4 {
+		t.Errorf("Steps = %d", res.Steps)
+	}
+}
+
+func TestInterpFieldsAndNull(t *testing.T) {
+	prog := ir.NewProgram("main")
+	prog.Add(&ir.Proc{Name: "main", Body: &ir.Seq{Cmds: []ir.Cmd{
+		&ir.Prim{Kind: ir.New, Dst: "box", Site: "b"},
+		&ir.Prim{Kind: ir.New, Dst: "f", Site: "h1"},
+		&ir.Prim{Kind: ir.Store, Dst: "box", Field: "item", Src: "f"},
+		&ir.Prim{Kind: ir.Load, Dst: "g", Src: "box", Field: "item"},
+		&ir.Prim{Kind: ir.TSCall, Dst: "g", Method: "open"},
+		// Null-safe behaviour: loads/stores/calls through unassigned vars.
+		&ir.Prim{Kind: ir.Load, Dst: "x", Src: "zzz", Field: "item"},
+		&ir.Prim{Kind: ir.Store, Dst: "zzz", Field: "item", Src: "f"},
+		&ir.Prim{Kind: ir.TSCall, Dst: "zzz", Method: "open"},
+		&ir.Prim{Kind: ir.Kill, Dst: "g"},
+	}}})
+	track := map[string]*typestate.Property{"h1": typestate.FileProperty()}
+	res, err := New(prog, track, DefaultConfig(1)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ErrorSites) != 0 {
+		t.Errorf("ErrorSites = %v", res.ErrorSites)
+	}
+	if len(res.Exit) != 1 || res.Exit[0].State != "opened" {
+		t.Errorf("Exit = %v", res.Exit)
+	}
+}

@@ -1,0 +1,150 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a program point (a vertex of a procedure's control-flow graph).
+// Nodes are identified by a dense integer ID that is unique across the whole
+// program's CFG, so analyses can index node-keyed tables by ID.
+type Node struct {
+	ID   int
+	Proc string // name of the enclosing procedure
+	// Out lists the outgoing edges in creation (hence deterministic) order.
+	Out []*Edge
+	// In lists the incoming edges in creation order.
+	In []*Edge
+}
+
+// Edge is a control-flow edge labeled with either a primitive command or a
+// procedure call. Exactly one of Prim and Call is meaningful: if Call is the
+// empty string the edge executes Prim (possibly a Nop), otherwise the edge
+// invokes procedure Call.
+type Edge struct {
+	From *Node
+	To   *Node
+	Prim *Prim  // non-nil iff Call == ""
+	Call string // callee name, or "" for a primitive edge
+}
+
+// IsCall reports whether the edge is a procedure-call edge.
+func (e *Edge) IsCall() bool { return e.Call != "" }
+
+// Label renders the edge's command for diagnostics.
+func (e *Edge) Label() string {
+	if e.IsCall() {
+		return "call " + e.Call
+	}
+	return e.Prim.String()
+}
+
+// ProcCFG is the control-flow graph of one procedure. Entry and Exit are
+// distinct nodes; every path from Entry reaches Exit (the builder guarantees
+// this structurally for the command language, which has no aborts).
+type ProcCFG struct {
+	Proc  string
+	Entry *Node
+	Exit  *Node
+	Nodes []*Node
+}
+
+// CFG holds the control-flow graphs of all procedures of a program.
+type CFG struct {
+	Program *Program
+	// ByProc maps procedure names to their graphs.
+	ByProc map[string]*ProcCFG
+	// NodeCount is the total number of nodes across all procedures; node IDs
+	// range over [0, NodeCount).
+	NodeCount int
+	// AllNodes indexes nodes by ID.
+	AllNodes []*Node
+}
+
+// BuildCFG constructs per-procedure control-flow graphs for the program.
+// Sequencing, choice and loops are expanded structurally; loops become a
+// head node with a back edge, so the graph of C* admits zero or more
+// executions of C. The program must be valid (see Program.Validate).
+func BuildCFG(p *Program) *CFG {
+	g := &CFG{Program: p, ByProc: map[string]*ProcCFG{}}
+	for _, name := range p.ProcNames() {
+		pc := &ProcCFG{Proc: name}
+		pc.Entry = g.newNode(pc)
+		pc.Exit = g.newNode(pc)
+		g.build(pc, p.Procs[name].Body, pc.Entry, pc.Exit)
+		g.ByProc[name] = pc
+	}
+	return g
+}
+
+func (g *CFG) newNode(pc *ProcCFG) *Node {
+	n := &Node{ID: g.NodeCount, Proc: pc.Proc}
+	g.NodeCount++
+	g.AllNodes = append(g.AllNodes, n)
+	pc.Nodes = append(pc.Nodes, n)
+	return n
+}
+
+func (g *CFG) addEdge(from, to *Node, prim *Prim, call string) {
+	e := &Edge{From: from, To: to, Prim: prim, Call: call}
+	from.Out = append(from.Out, e)
+	to.In = append(to.In, e)
+}
+
+var nop = &Prim{Kind: Nop}
+
+func (g *CFG) build(pc *ProcCFG, c Cmd, from, to *Node) {
+	switch c := c.(type) {
+	case *Prim:
+		g.addEdge(from, to, c, "")
+	case *Call:
+		g.addEdge(from, to, nil, c.Callee)
+	case *Seq:
+		if len(c.Cmds) == 0 {
+			g.addEdge(from, to, nop, "")
+			return
+		}
+		cur := from
+		for i, s := range c.Cmds {
+			next := to
+			if i < len(c.Cmds)-1 {
+				next = g.newNode(pc)
+			}
+			g.build(pc, s, cur, next)
+			cur = next
+		}
+	case *Choice:
+		for _, a := range c.Alts {
+			g.build(pc, a, from, to)
+		}
+	case *Loop:
+		head := g.newNode(pc)
+		g.addEdge(from, head, nop, "")
+		g.build(pc, c.Body, head, head)
+		g.addEdge(head, to, nop, "")
+	default:
+		panic(fmt.Sprintf("ir: BuildCFG on invalid command %T", c))
+	}
+}
+
+// Dump renders the CFG as a deterministic adjacency listing, useful in tests
+// and debugging.
+func (g *CFG) Dump() string {
+	var b strings.Builder
+	names := make([]string, 0, len(g.ByProc))
+	for n := range g.ByProc {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pc := g.ByProc[name]
+		fmt.Fprintf(&b, "proc %s entry=%d exit=%d\n", name, pc.Entry.ID, pc.Exit.ID)
+		for _, n := range pc.Nodes {
+			for _, e := range n.Out {
+				fmt.Fprintf(&b, "  %d -> %d : %s\n", e.From.ID, e.To.ID, e.Label())
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleProgram() *Program {
+	p := NewProgram("main")
+	p.Add(&Proc{Name: "main", Body: &Seq{Cmds: []Cmd{
+		&Prim{Kind: New, Dst: "v", Site: "h1"},
+		&Call{Callee: "helper"},
+		&Loop{Body: &Prim{Kind: TSCall, Dst: "v", Method: "read"}},
+	}}})
+	p.Add(&Proc{Name: "helper", Body: &Choice{Alts: []Cmd{
+		&Prim{Kind: Copy, Dst: "w", Src: "v"},
+		&Seq{Cmds: []Cmd{
+			&Prim{Kind: Store, Dst: "w", Field: "f", Src: "v"},
+			&Prim{Kind: Load, Dst: "u", Src: "w", Field: "f"},
+			&Call{Callee: "leaf"},
+		}},
+	}}})
+	p.Add(&Proc{Name: "leaf", Body: &Prim{Kind: Kill, Dst: "u"}})
+	return p
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := sampleProgram().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		prog func() *Program
+		want string
+	}{
+		{"missing entry", func() *Program {
+			p := NewProgram("nope")
+			p.Add(&Proc{Name: "main", Body: &Prim{Kind: Nop}})
+			return p
+		}, "entry"},
+		{"undefined callee", func() *Program {
+			p := NewProgram("main")
+			p.Add(&Proc{Name: "main", Body: &Call{Callee: "ghost"}})
+			return p
+		}, "undefined"},
+		{"empty choice", func() *Program {
+			p := NewProgram("main")
+			p.Add(&Proc{Name: "main", Body: &Choice{}})
+			return p
+		}, "choice"},
+		{"nil command", func() *Program {
+			p := NewProgram("main")
+			p.Add(&Proc{Name: "main", Body: &Seq{Cmds: []Cmd{nil}}})
+			return p
+		}, "nil"},
+	}
+	for _, c := range cases {
+		err := c.prog().Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestReachable(t *testing.T) {
+	p := sampleProgram()
+	got := p.Reachable("main")
+	want := []string{"helper", "leaf", "main"}
+	if len(got) != len(want) {
+		t.Fatalf("Reachable(main) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Reachable(main) = %v, want %v", got, want)
+		}
+	}
+	if leafOnly := p.Reachable("leaf"); len(leafOnly) != 1 || leafOnly[0] != "leaf" {
+		t.Errorf("Reachable(leaf) = %v", leafOnly)
+	}
+}
+
+func TestCallees(t *testing.T) {
+	p := sampleProgram()
+	got := Callees(p.Procs["helper"].Body)
+	if len(got) != 1 || got[0] != "leaf" {
+		t.Errorf("Callees(helper) = %v, want [leaf]", got)
+	}
+	if got := Callees(p.Procs["leaf"].Body); len(got) != 0 {
+		t.Errorf("Callees(leaf) = %v, want none", got)
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	st := CollectStats(sampleProgram())
+	if st.Procs != 3 {
+		t.Errorf("Procs = %d, want 3", st.Procs)
+	}
+	if st.Calls != 2 {
+		t.Errorf("Calls = %d, want 2", st.Calls)
+	}
+	if st.Choices != 1 || st.Loops != 1 {
+		t.Errorf("Choices/Loops = %d/%d, want 1/1", st.Choices, st.Loops)
+	}
+	if st.Prims != 6 {
+		t.Errorf("Prims = %d, want 6", st.Prims)
+	}
+}
+
+func TestPrintRoundtrips(t *testing.T) {
+	out := Print(sampleProgram())
+	for _, want := range []string{
+		"proc main {", "v = new h1", "call helper",
+		"loop {", "choice {", "} or {", "w.f = v", "u = w.f", "kill u",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCFGStructure(t *testing.T) {
+	p := sampleProgram()
+	g := BuildCFG(p)
+	if len(g.ByProc) != 3 {
+		t.Fatalf("CFG has %d procs, want 3", len(g.ByProc))
+	}
+	// Every proc entry differs from its exit, and node IDs are dense.
+	for name, pc := range g.ByProc {
+		if pc.Entry == pc.Exit {
+			t.Errorf("%s: entry == exit", name)
+		}
+	}
+	if len(g.AllNodes) != g.NodeCount {
+		t.Errorf("AllNodes has %d entries, NodeCount = %d", len(g.AllNodes), g.NodeCount)
+	}
+	for i, n := range g.AllNodes {
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+	}
+	// helper's choice: its entry must have two outgoing edges.
+	h := g.ByProc["helper"]
+	if len(h.Entry.Out) != 2 {
+		t.Errorf("helper entry has %d out edges, want 2", len(h.Entry.Out))
+	}
+	// Exactly one call edge to leaf.
+	calls := 0
+	for _, n := range h.Nodes {
+		for _, e := range n.Out {
+			if e.IsCall() && e.Call == "leaf" {
+				calls++
+			}
+		}
+	}
+	if calls != 1 {
+		t.Errorf("helper has %d call edges to leaf, want 1", calls)
+	}
+	// The loop in main admits zero iterations: a nop path from the loop
+	// head to main's exit must exist.
+	if !strings.Contains(g.Dump(), "nop") {
+		t.Errorf("CFG dump missing structural nop edges:\n%s", g.Dump())
+	}
+}
+
+func TestCFGLoopReachesExit(t *testing.T) {
+	p := NewProgram("main")
+	p.Add(&Proc{Name: "main", Body: &Loop{Body: &Prim{Kind: Nop}}})
+	g := BuildCFG(p)
+	pc := g.ByProc["main"]
+	// BFS from entry must reach exit.
+	seen := map[int]bool{pc.Entry.ID: true}
+	queue := []*Node{pc.Entry}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if !seen[e.To.ID] {
+				seen[e.To.ID] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if !seen[pc.Exit.ID] {
+		t.Fatal("loop exit unreachable from entry")
+	}
+}

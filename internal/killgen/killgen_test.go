@@ -1,0 +1,211 @@
+package killgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swift/internal/core"
+	"swift/internal/ir"
+)
+
+// taintFixture builds a small lowered-style program and its taint client.
+func taintFixture() (*ir.Program, *Taint, []*ir.Prim) {
+	prims := []*ir.Prim{
+		{Kind: ir.Nop},
+		{Kind: ir.New, Dst: "a", Site: "src1"},
+		{Kind: ir.New, Dst: "b", Site: "clean1"},
+		{Kind: ir.Copy, Dst: "b", Src: "a"},
+		{Kind: ir.Copy, Dst: "c", Src: "b"},
+		{Kind: ir.Copy, Dst: "a", Src: "c"},
+		{Kind: ir.Store, Dst: "b", Field: "f", Src: "a"},
+		{Kind: ir.Load, Dst: "c", Src: "b", Field: "f"},
+		{Kind: ir.TSCall, Dst: "c", Method: "write"},
+		{Kind: ir.TSCall, Dst: "a", Method: "clean"},
+		{Kind: ir.TSCall, Dst: "b", Method: "log"},
+		{Kind: ir.Kill, Dst: "c"},
+	}
+	body := make([]ir.Cmd, len(prims))
+	for i, p := range prims {
+		body[i] = p
+	}
+	prog := ir.NewProgram("main")
+	prog.Add(&ir.Proc{Name: "main", Body: &ir.Seq{Cmds: body}})
+	t := NewTaint(prog, TaintConfig{
+		Sources:    []string{"src1"},
+		Sanitizers: []string{"clean"},
+		Sinks:      []string{"write"},
+	})
+	return prog, t, prims
+}
+
+// randomBits draws an arbitrary fact set.
+func randomBits(rng *rand.Rand, t *Taint) string {
+	b := make(Bits, t.nwords)
+	for i := 0; i < t.nfacts; i++ {
+		if rng.Intn(3) == 0 {
+			b.set(i)
+		}
+	}
+	return t.State(b)
+}
+
+func taintPool(rng *rand.Rand, t *Taint, prims []*ir.Prim, size int) []string {
+	pool := []string{t.Identity()}
+	seen := map[string]bool{pool[0]: true}
+	for len(pool) < size {
+		r := pool[rng.Intn(len(pool))]
+		var outs []string
+		if rng.Intn(2) == 0 {
+			outs = t.RTrans(prims[rng.Intn(len(prims))], r)
+		} else {
+			outs = t.RComp(r, pool[rng.Intn(len(pool))])
+		}
+		for _, o := range outs {
+			if !seen[o] {
+				seen[o] = true
+				pool = append(pool, o)
+			}
+		}
+	}
+	return pool
+}
+
+// TestTaintConditions property-tests C1, C2, wp, dom and identity for the
+// synthesized bottom-up analysis.
+func TestTaintConditions(t *testing.T) {
+	_, ta, prims := taintFixture()
+	rng := rand.New(rand.NewSource(11))
+	pool := taintPool(rng, ta, prims, 100)
+	for i := 0; i < 4000; i++ {
+		s := randomBits(rng, ta)
+		r := pool[rng.Intn(len(pool))]
+		prim := prims[rng.Intn(len(prims))]
+		if err := core.CheckC1[string, string, string](ta, prim, r, s); err != nil {
+			t.Fatalf("C1 iteration %d: %v", i, err)
+		}
+		r2 := pool[rng.Intn(len(pool))]
+		if err := core.CheckC2[string, string, string](ta, r, r2, s); err != nil {
+			t.Fatalf("C2 iteration %d: %v", i, err)
+		}
+		if err := core.CheckWPre[string, string, string](ta, r, ta.PreOf(r2), s); err != nil {
+			t.Fatalf("WPre iteration %d: %v", i, err)
+		}
+		if err := core.CheckPre[string, string, string](ta, r, s); err != nil {
+			t.Fatalf("Pre iteration %d: %v", i, err)
+		}
+		if err := core.CheckIdentity[string, string, string](ta, s); err != nil {
+			t.Fatalf("Identity iteration %d: %v", i, err)
+		}
+	}
+}
+
+// TestBitsQuick property-tests the Bits primitives with testing/quick.
+func TestBitsQuick(t *testing.T) {
+	mk := func(x uint64) Bits { return Bits{x} }
+	if err := quick.Check(func(x, y uint64) bool {
+		return containsAll(mk(x|y), mk(y))
+	}, nil); err != nil {
+		t.Errorf("union contains operand: %v", err)
+	}
+	if err := quick.Check(func(x, y uint64) bool {
+		return disjoint(mk(x&^y), mk(y&^x)) || x&y != 0 ||
+			// x&^y and y&^x are always disjoint
+			false
+	}, nil); err != nil {
+		t.Errorf("andnot disjoint: %v", err)
+	}
+	if err := quick.Check(func(x, y uint64) bool {
+		// containsAll is antisymmetric up to equality
+		if containsAll(mk(x), mk(y)) && containsAll(mk(y), mk(x)) {
+			return x == y
+		}
+		return true
+	}, nil); err != nil {
+		t.Errorf("containsAll antisymmetry: %v", err)
+	}
+}
+
+// taintProgram is an interprocedural taint scenario: helper procedures
+// propagate taint through parameters; sanitizing on one path but not the
+// other must alert.
+func taintProgram() *ir.Program {
+	prog := ir.NewProgram("main")
+	prog.Add(&ir.Proc{Name: "emit", Body: &ir.Seq{Cmds: []ir.Cmd{
+		&ir.Prim{Kind: ir.TSCall, Dst: "emit$x", Method: "write"},
+	}}})
+	prog.Add(&ir.Proc{Name: "scrub", Body: &ir.Seq{Cmds: []ir.Cmd{
+		&ir.Prim{Kind: ir.TSCall, Dst: "scrub$x", Method: "clean"},
+	}}})
+	prog.Add(&ir.Proc{Name: "main", Body: &ir.Seq{Cmds: []ir.Cmd{
+		&ir.Prim{Kind: ir.New, Dst: "t", Site: "src1"},
+		&ir.Prim{Kind: ir.New, Dst: "u", Site: "clean1"},
+		&ir.Choice{Alts: []ir.Cmd{
+			// Path 1: sanitize then emit — no alert.
+			&ir.Seq{Cmds: []ir.Cmd{
+				&ir.Prim{Kind: ir.Copy, Dst: "scrub$x", Src: "t"},
+				&ir.Call{Callee: "scrub"},
+				&ir.Prim{Kind: ir.Copy, Dst: "emit$x", Src: "scrub$x"},
+				&ir.Call{Callee: "emit"},
+			}},
+			// Path 2: emit the clean value — no alert.
+			&ir.Seq{Cmds: []ir.Cmd{
+				&ir.Prim{Kind: ir.Copy, Dst: "emit$x", Src: "u"},
+				&ir.Call{Callee: "emit"},
+			}},
+			// Path 3: emit the tainted value — alert.
+			&ir.Seq{Cmds: []ir.Cmd{
+				&ir.Prim{Kind: ir.Copy, Dst: "emit$x", Src: "t"},
+				&ir.Call{Callee: "emit"},
+			}},
+		}},
+	}}})
+	return prog
+}
+
+// TestTaintInterprocedural runs all three engines on the taint scenario and
+// checks the alert verdicts coincide.
+func TestTaintInterprocedural(t *testing.T) {
+	prog := taintProgram()
+	ta := NewTaint(prog, TaintConfig{
+		Sources:    []string{"src1"},
+		Sanitizers: []string{"clean"},
+		Sinks:      []string{"write"},
+	})
+	an, err := core.NewAnalysis[string, string, string](ta, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := ta.Initial()
+	td := an.RunTD(init, core.TDConfig())
+	cfg := core.DefaultConfig()
+	cfg.K = 1
+	sw := an.RunSwift(init, cfg)
+	bu := an.RunBU(init, core.BUConfig())
+	for name, res := range map[string]*core.Result[string, string, string]{
+		"td": td, "swift": sw, "bu": bu,
+	} {
+		if !res.Completed() {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		exits := res.ExitStates("main", init)
+		alerted, clean := false, false
+		for _, s := range exits {
+			if ta.Alerted(s) {
+				alerted = true
+			} else {
+				clean = true
+			}
+		}
+		if !alerted {
+			t.Errorf("%s: expected an alerting path", name)
+		}
+		if !clean {
+			t.Errorf("%s: expected a non-alerting path", name)
+		}
+		tdExits := td.ExitStates("main", init)
+		if len(exits) != len(tdExits) {
+			t.Errorf("%s: %d exit states, td %d", name, len(exits), len(tdExits))
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package lower translates the high-level IR into the command IR consumed
+// by the analyses, using the pointer analysis for devirtualization.
+//
+// The translation follows the paper's formal setting (Section 3.5):
+// procedure calls are parameterless over a global namespace. Every variable
+// is renamed to its frame-qualified form "Class.method$v", argument passing
+// becomes explicit copies into the callee's parameter variables, return
+// values flow through the callee's $ret variable, and each procedure kills
+// its frame variables at exit so stale aliases do not fragment the abstract
+// state space of its callers.
+package lower
+
+import (
+	"fmt"
+
+	"swift/internal/hir"
+	"swift/internal/ir"
+	"swift/internal/pointer"
+	"swift/internal/typestate"
+)
+
+// Output bundles the lowered program with the artifacts the analyses need.
+type Output struct {
+	// Prog is the lowered command program; its entry is the qualified name
+	// of the HIR entry method.
+	Prog *ir.Program
+	// Track maps allocation-site labels of property-typed allocations to
+	// their properties (the type-state analysis' tracked objects).
+	Track map[string]*typestate.Property
+	// Pointer is the points-to result, usable directly as the may-alias
+	// oracle (its variable namespace equals the lowered one).
+	Pointer *pointer.Result
+	// MethodOf maps lowered procedure names back to their HIR methods.
+	MethodOf map[string]*hir.Method
+}
+
+// Lower translates all pointer-reachable methods.
+func Lower(prog *hir.Program, pts *pointer.Result) (*Output, error) {
+	out := &Output{
+		Prog:     ir.NewProgram(prog.Entry().QName()),
+		Track:    map[string]*typestate.Property{},
+		Pointer:  pts,
+		MethodOf: map[string]*hir.Method{},
+	}
+	for _, site := range pts.Sites() {
+		if prop, ok := prog.Properties[pts.SiteType(site)]; ok {
+			out.Track[site] = prop
+		}
+	}
+	for _, m := range pts.ReachableMethods() {
+		l := &lowerer{prog: prog, pts: pts, m: m}
+		body := l.block(m.Body)
+		// Exit hygiene: retire the frame (receiver, parameters, locals) but
+		// not $ret, which the caller reads and kills.
+		var frame []string
+		frame = append(frame, hir.ThisVar)
+		frame = append(frame, m.Params...)
+		frame = append(frame, m.Locals()...)
+		locals := make([]string, 0, len(frame)+1)
+		for _, v := range frame {
+			body = append(body, &ir.Prim{Kind: ir.Kill, Dst: m.QVar(v)})
+			locals = append(locals, m.QVar(v))
+		}
+		locals = append(locals, m.QVar(hir.RetVar))
+		out.Prog.Add(&ir.Proc{Name: m.QName(), Body: &ir.Seq{Cmds: body}, Locals: locals})
+		out.MethodOf[m.QName()] = m
+	}
+	if err := out.Prog.Validate(); err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	return out, nil
+}
+
+// lowerer lowers one method body.
+type lowerer struct {
+	prog  *hir.Program
+	pts   *pointer.Result
+	m     *hir.Method
+	calls int // call-site counter for temporary names
+}
+
+func (l *lowerer) qv(v string) string { return l.m.QVar(v) }
+
+func (l *lowerer) block(b *hir.Block) []ir.Cmd {
+	var out []ir.Cmd
+	for _, s := range b.Stmts {
+		out = append(out, l.stmt(s)...)
+	}
+	if len(out) == 0 {
+		out = append(out, &ir.Prim{Kind: ir.Nop})
+	}
+	return out
+}
+
+func (l *lowerer) stmt(s hir.Stmt) []ir.Cmd {
+	switch s := s.(type) {
+	case *hir.Block:
+		return []ir.Cmd{&ir.Seq{Cmds: l.block(s)}}
+	case *hir.Skip:
+		return []ir.Cmd{&ir.Prim{Kind: ir.Nop}}
+	case *hir.If:
+		then := &ir.Seq{Cmds: l.stmt(s.Then)}
+		var els ir.Cmd = &ir.Prim{Kind: ir.Nop}
+		if s.Else != nil {
+			els = &ir.Seq{Cmds: l.stmt(s.Else)}
+		}
+		return []ir.Cmd{&ir.Choice{Alts: []ir.Cmd{then, els}}}
+	case *hir.While:
+		return []ir.Cmd{&ir.Loop{Body: &ir.Seq{Cmds: l.stmt(s.Body)}}}
+	case *hir.Assign:
+		return []ir.Cmd{&ir.Prim{Kind: ir.Copy, Dst: l.qv(s.Dst), Src: l.qv(s.Src)}}
+	case *hir.LoadStmt:
+		return []ir.Cmd{&ir.Prim{Kind: ir.Load, Dst: l.qv(s.Dst), Src: l.qv(s.Base), Field: s.Field}}
+	case *hir.StoreStmt:
+		return []ir.Cmd{&ir.Prim{Kind: ir.Store, Dst: l.qv(s.Base), Field: s.Field, Src: l.qv(s.Src)}}
+	case *hir.NewStmt:
+		return []ir.Cmd{&ir.Prim{Kind: ir.New, Dst: l.qv(s.Dst), Site: s.Site}}
+	case *hir.Return:
+		return []ir.Cmd{&ir.Prim{Kind: ir.Copy, Dst: l.qv(hir.RetVar), Src: l.qv(s.Src)}}
+	case *hir.CallStmt:
+		return l.call(s)
+	}
+	panic(fmt.Sprintf("lower: unknown statement %T", s))
+}
+
+func (l *lowerer) call(s *hir.CallStmt) []ir.Cmd {
+	l.calls++
+	if l.pts.IsPropertyMethod(s.Method) {
+		// Type-state transition on the receiver object.
+		cmds := []ir.Cmd{&ir.Prim{Kind: ir.TSCall, Dst: l.qv(s.Recv), Method: s.Method}}
+		if s.Dst != "" {
+			// The transition's result is a non-reference value.
+			cmds = append(cmds, &ir.Prim{Kind: ir.Kill, Dst: l.qv(s.Dst)})
+		}
+		return cmds
+	}
+	recv := s.Recv
+	if recv == "" {
+		recv = hir.ThisVar
+	}
+	targets := l.pts.Targets(s)
+	if len(targets) == 0 {
+		// Dead call: the receiver points to no object with this method.
+		if s.Dst != "" {
+			return []ir.Cmd{&ir.Prim{Kind: ir.Kill, Dst: l.qv(s.Dst)}}
+		}
+		return []ir.Cmd{&ir.Prim{Kind: ir.Nop}}
+	}
+	alts := make([]ir.Cmd, 0, len(targets))
+	for _, t := range targets {
+		alts = append(alts, &ir.Seq{Cmds: l.invoke(s, recv, t)})
+	}
+	if len(alts) == 1 {
+		return []ir.Cmd{alts[0]}
+	}
+	// After a multi-target call, kill every candidate frame. Each branch's
+	// callee already kills its own frame at exit, but the other branches
+	// leave it untouched; the post-choice kills make all branches agree on
+	// the (dead anyway) frames, so their relational summaries merge instead
+	// of forcing the pruning operator to split the ignored set.
+	out := []ir.Cmd{&ir.Choice{Alts: alts}}
+	for _, t := range targets {
+		for _, v := range frameVars(t) {
+			out = append(out, &ir.Prim{Kind: ir.Kill, Dst: t.QVar(v)})
+		}
+	}
+	return out
+}
+
+// frameVars lists a method's frame variables: receiver, parameters, locals
+// and the return slot.
+func frameVars(t *hir.Method) []string {
+	out := []string{hir.ThisVar}
+	out = append(out, t.Params...)
+	out = append(out, t.Locals()...)
+	out = append(out, hir.RetVar)
+	return out
+}
+
+// invoke lowers one devirtualized call: bind the receiver and arguments
+// into the callee frame, call, read back $ret. A self-call (the target is
+// the enclosing method, so both frames are the same global variables) binds
+// through call-site temporaries so argument reads all happen before
+// parameter writes.
+func (l *lowerer) invoke(s *hir.CallStmt, recv string, t *hir.Method) []ir.Cmd {
+	var cmds []ir.Cmd
+	srcs := []string{l.qv(recv)}
+	dsts := []string{t.QVar(hir.ThisVar)}
+	for i, p := range t.Params {
+		if i < len(s.Args) {
+			srcs = append(srcs, l.qv(s.Args[i]))
+		} else {
+			srcs = append(srcs, "") // unbound parameter: killed below
+		}
+		dsts = append(dsts, t.QVar(p))
+	}
+	if t == l.m {
+		// Route through temporaries, reading every source first.
+		tmps := make([]string, len(srcs))
+		for i, src := range srcs {
+			if src == "" {
+				continue
+			}
+			tmps[i] = l.qv(fmt.Sprintf("$tmp%d_%d", l.calls, i))
+			cmds = append(cmds, &ir.Prim{Kind: ir.Copy, Dst: tmps[i], Src: src})
+		}
+		for i := range srcs {
+			if srcs[i] == "" {
+				cmds = append(cmds, &ir.Prim{Kind: ir.Kill, Dst: dsts[i]})
+				continue
+			}
+			cmds = append(cmds,
+				&ir.Prim{Kind: ir.Copy, Dst: dsts[i], Src: tmps[i]},
+				&ir.Prim{Kind: ir.Kill, Dst: tmps[i]})
+		}
+	} else {
+		for i := range srcs {
+			if srcs[i] == "" {
+				cmds = append(cmds, &ir.Prim{Kind: ir.Kill, Dst: dsts[i]})
+				continue
+			}
+			cmds = append(cmds, &ir.Prim{Kind: ir.Copy, Dst: dsts[i], Src: srcs[i]})
+		}
+	}
+	cmds = append(cmds, &ir.Call{Callee: t.QName()})
+	if s.Dst != "" {
+		cmds = append(cmds, &ir.Prim{Kind: ir.Copy, Dst: l.qv(s.Dst), Src: t.QVar(hir.RetVar)})
+	}
+	cmds = append(cmds, &ir.Prim{Kind: ir.Kill, Dst: t.QVar(hir.RetVar)})
+	return cmds
+}

@@ -1,0 +1,189 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"swift/internal/hir"
+	"swift/internal/ir"
+	"swift/internal/pointer"
+	"swift/internal/source"
+)
+
+func lowerSource(t *testing.T, src string) *Output {
+	t.Helper()
+	prog, err := source.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	pts, err := pointer.Analyze(prog)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	out, err := Lower(prog, pts)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return out
+}
+
+const lowerFixture = `
+property File {
+  states closed opened error
+  error error
+  open: closed -> opened
+  close: opened -> closed
+}
+
+class Main {
+  method main() {
+    f = new File @h1
+    a = new A @oa
+    b = new B @ob
+    x = a
+    if (*) { x = b }
+    y = x.id(f)
+    r = a.me()
+  }
+}
+
+class A {
+  method id(v) { return v }
+  method me() { s = this.id(this); return s }
+}
+
+class B extends A {
+  method id(v) { w = v; return w }
+}
+`
+
+func TestLowerStructure(t *testing.T) {
+	out := lowerSource(t, lowerFixture)
+	text := ir.Print(out.Prog)
+
+	// Multi-target call on x: a Choice over A.id and B.id with post-choice
+	// frame kills for both targets.
+	if !strings.Contains(text, "call A.id") || !strings.Contains(text, "call B.id") {
+		t.Fatalf("devirtualized calls missing:\n%s", text)
+	}
+	for _, want := range []string{
+		"A.id$v = Main.main$f", // parameter binding
+		"B.id$v = Main.main$f",
+		"Main.main$y = A.id$$ret", // return plumbing (per branch)
+		"kill A.id$$ret",
+		"kill B.id$v", // post-choice frame kill
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("lowered program missing %q:\n%s", want, text)
+		}
+	}
+	// Tracked site map.
+	if out.Track["h1"] == nil || out.Track["h1"].Name != "File" {
+		t.Errorf("Track = %v", out.Track)
+	}
+	if out.Track["oa"] != nil {
+		t.Errorf("untracked site oa in Track")
+	}
+	// MethodOf round-trips.
+	if m := out.MethodOf["A.me"]; m == nil || m.QName() != "A.me" {
+		t.Errorf("MethodOf missing A.me")
+	}
+	// Entry name.
+	if out.Prog.Entry != "Main.main" {
+		t.Errorf("entry = %q", out.Prog.Entry)
+	}
+	// Frame kills at exits.
+	if !strings.Contains(text, "kill Main.main$f") {
+		t.Errorf("frame kill for main local missing:\n%s", text)
+	}
+}
+
+func TestLowerSelfCallTemporaries(t *testing.T) {
+	// A method calling itself with swapped arguments must route through
+	// temporaries (the frames coincide).
+	const src = `
+class Main {
+  method main() {
+    a = new A
+    b = new A
+    a.swap(a, b)
+  }
+}
+class A {
+  method swap(x, y) {
+    if (*) { swap(y, x) }
+  }
+}
+`
+	out := lowerSource(t, src)
+	text := ir.Print(out.Prog)
+	if !strings.Contains(text, "$tmp") {
+		t.Fatalf("self-call did not use temporaries:\n%s", text)
+	}
+	// The temporaries are read after all argument reads: the direct
+	// clobbering copy A.swap$x = A.swap$y must not appear.
+	if strings.Contains(text, "A.swap$x = A.swap$y\n") && !strings.Contains(text, "$tmp") {
+		t.Fatalf("clobbering binding:\n%s", text)
+	}
+}
+
+func TestLowerTSCallAndDeadCall(t *testing.T) {
+	const src = `
+property File {
+  states closed opened error
+  error error
+  open: closed -> opened
+}
+class Main {
+  method main() {
+    f = new File @h1
+    f.open()
+    ok = f.open()
+    n = new Null
+    n.nothing()
+  }
+}
+class Null {
+}
+class Other {
+  method nothing() { skip }
+}
+`
+	out := lowerSource(t, src)
+	text := ir.Print(out.Prog)
+	if !strings.Contains(text, "Main.main$f.open()") {
+		t.Errorf("TSCall missing:\n%s", text)
+	}
+	// Result of a type-state call is a non-reference: dst killed.
+	if !strings.Contains(text, "kill Main.main$ok") {
+		t.Errorf("TSCall result kill missing:\n%s", text)
+	}
+	// n.nothing() is dead (no Null target defines it): lowered to nop.
+	if strings.Contains(text, "call Other.nothing") {
+		t.Errorf("dead call resolved:\n%s", text)
+	}
+}
+
+func TestLowerValidates(t *testing.T) {
+	out := lowerSource(t, lowerFixture)
+	if err := out.Prog.Validate(); err != nil {
+		t.Fatalf("lowered program invalid: %v", err)
+	}
+}
+
+func TestFrameVars(t *testing.T) {
+	m := &hir.Method{Name: "m", Params: []string{"p"}, Body: &hir.Block{Stmts: []hir.Stmt{
+		&hir.Assign{Dst: "loc", Src: "p"},
+	}}}
+	hir.NewClass("C", "").AddMethod(m)
+	got := frameVars(m)
+	want := []string{hir.ThisVar, "p", "loc", hir.RetVar}
+	if len(got) != len(want) {
+		t.Fatalf("frameVars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frameVars = %v, want %v", got, want)
+		}
+	}
+}

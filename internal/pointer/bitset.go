@@ -1,0 +1,72 @@
+package pointer
+
+import "math/bits"
+
+// bitset is a growable bit vector over small non-negative integers (site
+// indices).
+type bitset []uint64
+
+// set turns bit i on, growing as needed. It returns true when the bit was
+// previously unset.
+func (b *bitset) set(i int) bool {
+	w := i >> 6
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	mask := uint64(1) << (uint(i) & 63)
+	if (*b)[w]&mask != 0 {
+		return false
+	}
+	(*b)[w] |= mask
+	return true
+}
+
+// has reports whether bit i is on.
+func (b bitset) has(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(uint64(1)<<(uint(i)&63)) != 0
+}
+
+// empty reports whether no bit is on.
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// orChanged unions other into b, reporting whether b grew.
+func (b *bitset) orChanged(other bitset) bool {
+	changed := false
+	for len(*b) < len(other) {
+		*b = append(*b, 0)
+	}
+	for i, w := range other {
+		if (*b)[i]|w != (*b)[i] {
+			(*b)[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// each calls f for every set bit in ascending order.
+func (b bitset) each(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			bit := w & (-w)
+			i := wi<<6 + bits.TrailingZeros64(bit)
+			f(i)
+			w &^= bit
+		}
+	}
+}
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	n := 0
+	b.each(func(int) { n++ })
+	return n
+}

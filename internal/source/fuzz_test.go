@@ -1,0 +1,62 @@
+package source
+
+import (
+	"strings"
+	"testing"
+
+	"swift/internal/hir"
+)
+
+// FuzzParse feeds arbitrary text to the front end: it must never panic, and
+// whatever it accepts must print and re-parse to the same program
+// (Print∘Parse is a fixpoint on the accepted language).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"class Main { method main() { skip } }",
+		"property P { states a error\n error error\n m: a -> a }\nclass Main { method main() { x = new P; x.m() } }",
+		"class A extends B {}\nclass B {}\nclass Main { method main() { skip } }",
+		"class Main { method main() { if (*) { skip } else { skip }\n while (*) { skip } } }",
+		"class Main { method main() { x = new Main @s1\n y = x\n x.f = y\n z = x.f } }",
+		"// comment\n/* block */ class Main { method main() { skip } }",
+		"class Main { method main() { w = new W\n r = w.go(r) } }\nclass W { method go(a) { return a } }",
+		"property File { states closed opened error\n error error\n open: closed -> opened }",
+		"class Main { method main() { x = 42 } }",
+		"class Main { method main() { x = new Ghost } }",
+		"}{)(*=;:.@->",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out := hir.Print(prog)
+		prog2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("printed form rejected: %v\ninput: %q\nprinted:\n%s", err, src, out)
+		}
+		if out2 := hir.Print(prog2); out2 != out {
+			t.Fatalf("Print∘Parse not a fixpoint\nfirst:\n%s\nsecond:\n%s", out, out2)
+		}
+	})
+}
+
+// FuzzLexer checks the tokenizer never panics and always terminates with an
+// EOF token.
+func FuzzLexer(f *testing.F) {
+	f.Add("class A { method m() { x = y } }")
+	f.Add(strings.Repeat("/*", 50))
+	f.Add("a\n=\nb@;;;->->")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatalf("token stream does not end with EOF: %v", toks)
+		}
+	})
+}

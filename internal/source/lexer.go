@@ -1,0 +1,167 @@
+// Package source implements the mini-Java front end: a lexer and recursive-
+// descent parser producing the high-level IR of package hir. The surface
+// language has classes with single inheritance, instance methods, fields,
+// allocation with optional site labels, virtual calls, abstracted branch
+// conditions, and property blocks declaring type-state machines for tracked
+// built-in types:
+//
+//	property File {
+//	  states closed opened error
+//	  error error
+//	  open: closed -> opened
+//	  close: opened -> closed
+//	}
+//
+//	class Main {
+//	  method main() {
+//	    f = new File @h1
+//	    w = new Worker
+//	    w.process(f)
+//	  }
+//	}
+//
+//	class Worker {
+//	  method process(f) { f.open(); f.close() }
+//	}
+//
+// Statements are terminated by newlines or semicolons (the lexer inserts a
+// semicolon at a newline after an identifier or closing parenthesis, like
+// Go). All keywords are contextual, so FSM states may be called "error".
+package source
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokPunct // single punctuation: { } ( ) , = ; : . @ *
+	tokArrow // ->
+)
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokArrow:
+		return "'->'"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a front-end error with a source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errorf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the input, inserting semicolons at newlines that follow an
+// identifier or a closing parenthesis.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	lastInsertable := false // previous token can end a statement
+	emit := func(k tokKind, text string, l, c int) {
+		toks = append(toks, token{kind: k, text: text, line: l, col: c})
+		lastInsertable = k == tokIdent || (k == tokPunct && text == ")")
+	}
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == '\n':
+			if lastInsertable {
+				emit(tokPunct, ";", line, col)
+			}
+			line++
+			col = 1
+			i++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			i++
+			col++
+		case ch == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case ch == '/' && i+1 < len(src) && src[i+1] == '*':
+			depth := 1
+			j := i + 2
+			c2 := col + 2
+			for j < len(src) && depth > 0 {
+				if src[j] == '\n' {
+					line++
+					c2 = 1
+					j++
+					continue
+				}
+				if src[j] == '*' && j+1 < len(src) && src[j+1] == '/' {
+					depth--
+					j += 2
+					c2 += 2
+					continue
+				}
+				j++
+				c2++
+			}
+			if depth != 0 {
+				return nil, errorf(line, c2, "unterminated block comment")
+			}
+			i = j
+			col = c2
+		case ch == '-' && i+1 < len(src) && src[i+1] == '>':
+			emit(tokArrow, "->", line, col)
+			i += 2
+			col += 2
+		case strings.ContainsRune("{}(),=;:.@*", rune(ch)):
+			emit(tokPunct, string(ch), line, col)
+			i++
+			col++
+		case isIdentStart(rune(ch)):
+			start := i
+			c0 := col
+			for i < len(src) && isIdentPart(rune(src[i])) {
+				i++
+				col++
+			}
+			emit(tokIdent, src[start:i], line, c0)
+		default:
+			return nil, errorf(line, col, "unexpected character %q", string(ch))
+		}
+	}
+	if lastInsertable {
+		emit(tokPunct, ";", line, col)
+	}
+	toks = append(toks, token{kind: tokEOF, line: line, col: col})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '$'
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}

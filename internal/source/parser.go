@@ -1,0 +1,426 @@
+package source
+
+import (
+	"swift/internal/hir"
+	"swift/internal/typestate"
+)
+
+// Parse parses mini-Java source into a finalized, validated HIR program.
+func Parse(src string) (*hir.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prog: hir.NewProgram()}
+	if err := p.program(); err != nil {
+		return nil, err
+	}
+	p.prog.Finalize()
+	if err := p.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+	prog *hir.Program
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+// is reports whether the current token is the given punctuation or, for
+// identifier words, the given contextual keyword.
+func (p *parser) is(text string) bool {
+	t := p.cur()
+	return (t.kind == tokPunct || t.kind == tokIdent) && t.text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.is(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if p.accept(text) {
+		return nil
+	}
+	t := p.cur()
+	return errorf(t.line, t.col, "expected %q, found %s", text, t)
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", errorf(t.line, t.col, "expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// skipSeps consumes any run of statement separators.
+func (p *parser) skipSeps() {
+	for p.accept(";") {
+	}
+}
+
+func (p *parser) program() error {
+	for {
+		p.skipSeps()
+		t := p.cur()
+		switch {
+		case t.kind == tokEOF:
+			return nil
+		case p.is("property"):
+			if err := p.property(); err != nil {
+				return err
+			}
+		case p.is("class"):
+			if err := p.class(); err != nil {
+				return err
+			}
+		default:
+			return errorf(t.line, t.col, "expected 'property' or 'class', found %s", t)
+		}
+	}
+}
+
+// property parses a property block into a typestate.Property.
+func (p *parser) property() error {
+	start := p.cur()
+	p.next() // property
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	var states []string
+	errState := ""
+	var transitions [][3]string
+	for {
+		p.skipSeps()
+		if p.accept("}") {
+			break
+		}
+		t := p.cur()
+		if t.kind == tokEOF {
+			return errorf(start.line, start.col, "unterminated property %q", name)
+		}
+		word, err := p.ident()
+		if err != nil {
+			return err
+		}
+		switch {
+		case word == "states" && len(states) == 0:
+			for p.cur().kind == tokIdent {
+				s, _ := p.ident()
+				states = append(states, s)
+			}
+			if len(states) == 0 {
+				return errorf(t.line, t.col, "property %q: empty states list", name)
+			}
+		case word == "error" && errState == "" && p.cur().kind == tokIdent:
+			errState, _ = p.ident()
+		default:
+			// transition: method ':' from '->' to
+			if err := p.expect(":"); err != nil {
+				return err
+			}
+			from, err := p.ident()
+			if err != nil {
+				return err
+			}
+			if p.cur().kind != tokArrow {
+				return errorf(p.cur().line, p.cur().col, "expected '->', found %s", p.cur())
+			}
+			p.next()
+			to, err := p.ident()
+			if err != nil {
+				return err
+			}
+			transitions = append(transitions, [3]string{word, from, to})
+		}
+	}
+	if len(states) == 0 {
+		return errorf(start.line, start.col, "property %q: missing states declaration", name)
+	}
+	if errState == "" {
+		return errorf(start.line, start.col, "property %q: missing error declaration", name)
+	}
+	prop, err := typestate.NewProperty(name, states, errState, transitions)
+	if err != nil {
+		return errorf(start.line, start.col, "property %q: %v", name, err)
+	}
+	p.prog.AddProperty(prop)
+	return nil
+}
+
+func (p *parser) class() error {
+	p.next() // class
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	super := ""
+	if p.is("extends") {
+		p.next()
+		if super, err = p.ident(); err != nil {
+			return err
+		}
+	}
+	c := hir.NewClass(name, super)
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for {
+		p.skipSeps()
+		if p.accept("}") {
+			break
+		}
+		t := p.cur()
+		switch {
+		case p.is("field"):
+			p.next()
+			f, err := p.ident()
+			if err != nil {
+				return err
+			}
+			c.Fields = append(c.Fields, f)
+		case p.is("method"):
+			m, err := p.method()
+			if err != nil {
+				return err
+			}
+			c.AddMethod(m)
+		case t.kind == tokEOF:
+			return errorf(t.line, t.col, "unterminated class %q", name)
+		default:
+			return errorf(t.line, t.col, "expected 'field' or 'method' in class %q, found %s", name, t)
+		}
+	}
+	p.prog.AddClass(c)
+	return nil
+}
+
+func (p *parser) method() (*hir.Method, error) {
+	p.next() // method
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.is(")") {
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, v)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &hir.Method{Name: name, Params: params, Body: body}, nil
+}
+
+func (p *parser) block() (*hir.Block, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &hir.Block{}
+	for {
+		p.skipSeps()
+		if p.accept("}") {
+			return b, nil
+		}
+		if p.cur().kind == tokEOF {
+			t := p.cur()
+			return nil, errorf(t.line, t.col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+}
+
+// condBlock parses "( * )" block — the abstracted condition of if/while.
+func (p *parser) condBlock() (*hir.Block, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if err := p.expect("*"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return p.block()
+}
+
+func (p *parser) stmt() (hir.Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.is("if"):
+		p.next()
+		then, err := p.condBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &hir.If{Then: then}
+		p.skipSeps()
+		if p.is("else") {
+			p.next()
+			if st.Else, err = p.block(); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case p.is("while"):
+		p.next()
+		body, err := p.condBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &hir.While{Body: body}, nil
+	case p.is("skip"):
+		p.next()
+		return &hir.Skip{}, nil
+	case p.is("return"):
+		p.next()
+		src, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &hir.Return{Src: src}, nil
+	case t.kind == tokIdent:
+		return p.simpleStmt()
+	}
+	return nil, errorf(t.line, t.col, "expected statement, found %s", t)
+}
+
+// simpleStmt parses assignments, loads, stores and calls, all of which
+// start with an identifier.
+func (p *parser) simpleStmt() (hir.Stmt, error) {
+	first, _ := p.ident()
+	switch {
+	case p.accept("."):
+		member, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.is("(") {
+			// first.member(args)
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &hir.CallStmt{Recv: first, Method: member, Args: args}, nil
+		}
+		// first.member = src
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		src, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &hir.StoreStmt{Base: first, Field: member, Src: src}, nil
+
+	case p.is("("):
+		// this-call: first(args)
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		return &hir.CallStmt{Method: first, Args: args}, nil
+
+	case p.accept("="):
+		return p.assignRHS(first)
+	}
+	t := p.cur()
+	return nil, errorf(t.line, t.col, "expected '=', '.' or '(' after %q, found %s", first, t)
+}
+
+// assignRHS parses the right-hand side of "dst = …".
+func (p *parser) assignRHS(dst string) (hir.Stmt, error) {
+	if p.is("new") {
+		p.next()
+		typ, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		site := ""
+		if p.accept("@") {
+			if site, err = p.ident(); err != nil {
+				return nil, err
+			}
+		}
+		return &hir.NewStmt{Dst: dst, Type: typ, Site: site}, nil
+	}
+	first, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept("."):
+		member, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.is("(") {
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &hir.CallStmt{Dst: dst, Recv: first, Method: member, Args: args}, nil
+		}
+		return &hir.LoadStmt{Dst: dst, Base: first, Field: member}, nil
+	case p.is("("):
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		return &hir.CallStmt{Dst: dst, Method: first, Args: args}, nil
+	}
+	return &hir.Assign{Dst: dst, Src: first}, nil
+}
+
+func (p *parser) args() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	for !p.is(")") {
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package source
+
+import (
+	"strings"
+	"testing"
+
+	"swift/internal/hir"
+)
+
+func TestParseRoundtrip(t *testing.T) {
+	const src = `
+property File {
+  states closed opened error
+  error error
+  open: closed -> opened
+  close: opened -> closed
+}
+
+class Main {
+  method main() {
+    f = new File @h1
+    w = new Worker
+    w.run(f)
+  }
+}
+
+class Worker extends Base {
+  field cache
+  method run(f) {
+    f.open()
+    x = f
+    this.cache = x
+    y = this.cache
+    if (*) { y.close() } else { f.close() }
+    while (*) { skip }
+    r = helper(x, y)
+    return r
+  }
+  method helper(a, b) { return a }
+}
+
+class Base {
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out := hir.Print(prog)
+	// Reparse the printed form; it must parse cleanly and reprint
+	// identically (fixpoint of Print∘Parse).
+	prog2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse of printed program failed: %v\n%s", err, out)
+	}
+	if out2 := hir.Print(prog2); out2 != out {
+		t.Fatalf("print/parse not a fixpoint:\n--- first\n%s\n--- second\n%s", out, out2)
+	}
+	// Structure checks.
+	w := prog.Class("Worker")
+	if w == nil || w.Super != "Base" {
+		t.Fatalf("Worker class mis-parsed: %+v", w)
+	}
+	if len(w.Fields) != 1 || w.Fields[0] != "cache" {
+		t.Errorf("fields = %v", w.Fields)
+	}
+	run := w.Method("run")
+	if run == nil || len(run.Params) != 1 {
+		t.Fatalf("run method mis-parsed")
+	}
+	prop := prog.Properties["File"]
+	if prop == nil || len(prop.States) != 3 {
+		t.Fatalf("property mis-parsed: %+v", prop)
+	}
+}
+
+func TestParseSemicolonInsertion(t *testing.T) {
+	// Semicolons and newlines are interchangeable statement separators.
+	oneLine := `
+property P { states a error; error error; m: a -> a }
+class Main { method main() { x = new P; x.m(); y = x } }
+`
+	if _, err := Parse(oneLine); err != nil {
+		t.Fatalf("semicolon-separated form rejected: %v", err)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// line comment
+property P { states a error
+  error error /* block
+  comment spanning lines */
+  m: a -> a
+}
+class Main { method main() { x = new P /* inline */ ; x.m() } }
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("comments rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"lex", "class Main { method main() { x = 42 } }", "unexpected character"},
+		{"no entry", "class Other { method m() { skip } }", "entry"},
+		{"dup class", "class A {}\nclass A {}\nclass Main { method main() { skip } }", "duplicate class"},
+		{"bad extends", "class A extends Ghost {}\nclass Main { method main() { skip } }", "unknown class"},
+		{"cycle", "class A extends B {}\nclass B extends A {}\nclass Main { method main() { skip } }", "cycle"},
+		{"return not last", "class Main { method main() { skip } }\nclass A { method m() { return x; skip } }", "final statement"},
+		{"property clash", "property A { states s error\n error error }\nclass A {}\nclass Main { method main() { skip } }", "clashes"},
+		{"method clash", "property P { states s error\n error error\n m: s -> s }\nclass A { method m() { skip } }\nclass Main { method main() { skip } }", "clashes"},
+		{"dup site", "class Main { method main() { x = new Main @s\n y = new Main @s } }", "already used"},
+		{"unknown type", "class Main { method main() { x = new Ghost } }", "unknown type"},
+		{"undefined call", "class Main { method main() { w = new Main\n w.nothing() } }", "undefined method"},
+		{"unterminated", "class Main { method main() { skip }", "unterminated"},
+		{"missing states", "property P { error e }\nclass Main { method main() { skip } }", "states"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParsePositions(t *testing.T) {
+	_, err := Parse("class Main {\n  method main() {\n    x = 42\n  }\n}")
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if perr.Line != 3 {
+		t.Errorf("error line = %d, want 3 (%v)", perr.Line, perr)
+	}
+}
+
+func TestLexerStatementSplit(t *testing.T) {
+	// "x = y" then "foo(a)" on separate lines must NOT parse as a call
+	// "y(...)": the inserted semicolon separates them.
+	src := `
+class Main { method main() {
+  w = new Helper
+  x = w
+  w.go(x)
+} }
+class Helper { method go(a) { skip } }
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	body := prog.Class("Main").Method("main").Body
+	if n := len(body.Stmts); n != 3 {
+		t.Fatalf("main has %d statements, want 3:\n%s", n, hir.Print(prog))
+	}
+	if _, ok := body.Stmts[1].(*hir.Assign); !ok {
+		t.Errorf("second statement is %T, want assign", body.Stmts[1])
+	}
+}

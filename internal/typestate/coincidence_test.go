@@ -1,0 +1,240 @@
+package typestate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"swift/internal/core"
+	"swift/internal/ir"
+)
+
+// This file tests Theorem 3.1 (coincidence) end to end: on randomized
+// programs, the hybrid analysis — for several (k, θ) settings — and the
+// bottom-up baseline must compute exactly the same abstract states as the
+// conventional top-down analysis, at every program point of every
+// top-down-analyzed procedure and at the program exit.
+
+// randomProgram generates a small well-formed program with sequencing,
+// choice, loops, calls (including recursion) and every primitive form.
+func randomProgram(rng *rand.Rand) *ir.Program {
+	vars := []string{"a", "b", "c"}
+	fields := []string{"f"}
+	sites := []string{"s1", "s2", "s3"}
+	methods := []string{"open", "close"}
+	numProcs := 2 + rng.Intn(3)
+	procName := func(i int) string { return fmt.Sprintf("p%d", i) }
+
+	randVar := func() string { return vars[rng.Intn(len(vars))] }
+	var randCmd func(depth, self int) ir.Cmd
+	randPrim := func() ir.Cmd {
+		switch rng.Intn(8) {
+		case 0:
+			return &ir.Prim{Kind: ir.New, Dst: randVar(), Site: sites[rng.Intn(len(sites))]}
+		case 1:
+			return &ir.Prim{Kind: ir.Copy, Dst: randVar(), Src: randVar()}
+		case 2:
+			return &ir.Prim{Kind: ir.Load, Dst: randVar(), Src: randVar(), Field: fields[0]}
+		case 3:
+			return &ir.Prim{Kind: ir.Store, Dst: randVar(), Field: fields[0], Src: randVar()}
+		case 4, 5:
+			return &ir.Prim{Kind: ir.TSCall, Dst: randVar(), Method: methods[rng.Intn(len(methods))]}
+		case 6:
+			return &ir.Prim{Kind: ir.Kill, Dst: randVar()}
+		default:
+			return &ir.Prim{Kind: ir.Nop}
+		}
+	}
+	randCmd = func(depth, self int) ir.Cmd {
+		if depth > 0 {
+			switch rng.Intn(7) {
+			case 0:
+				return &ir.Choice{Alts: []ir.Cmd{randCmd(depth-1, self), randCmd(depth-1, self)}}
+			case 1:
+				return &ir.Loop{Body: randCmd(depth-1, self)}
+			case 2:
+				if self+1 < numProcs {
+					// Call a later procedure, or occasionally recurse.
+					callee := self + 1 + rng.Intn(numProcs-self-1)
+					if rng.Intn(4) == 0 {
+						callee = self
+					}
+					return &ir.Call{Callee: procName(callee)}
+				}
+			}
+		}
+		n := 1 + rng.Intn(3)
+		seq := make([]ir.Cmd, n)
+		for i := range seq {
+			seq[i] = randPrim()
+		}
+		return &ir.Seq{Cmds: seq}
+	}
+
+	prog := ir.NewProgram(procName(0))
+	for i := 0; i < numProcs; i++ {
+		body := make([]ir.Cmd, 2+rng.Intn(3))
+		for j := range body {
+			body[j] = randCmd(2, i)
+		}
+		prog.Add(&ir.Proc{Name: procName(i), Body: &ir.Seq{Cmds: body}})
+	}
+	return prog
+}
+
+// statesAt collects the abstract states recorded at every node of the named
+// procedure's CFG in one entry context, keyed by node ID. Filtering by
+// context matters: a recursive entry procedure gains extra entry contexts
+// under pure top-down analysis that summary-answering engines never create,
+// and the coincidence theorem is a per-context statement.
+func statesAt(an *core.Analysis[AbsID, RelID, FormulaID], res *core.Result[AbsID, RelID, FormulaID], proc string, in AbsID) map[int][]AbsID {
+	out := map[int][]AbsID{}
+	for _, n := range an.CFG.ByProc[proc].Nodes {
+		out[n.ID] = res.TD.NodeStatesIn(n.ID, in)
+	}
+	return out
+}
+
+func sameStates(a, b map[int][]AbsID) (int, bool) {
+	for id, sa := range a {
+		sb := b[id]
+		if len(sa) != len(sb) {
+			return id, false
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return id, false
+			}
+		}
+	}
+	return 0, true
+}
+
+func TestCoincidenceRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	configs := []struct {
+		k, theta int
+	}{
+		{1, 1}, {1, 2}, {2, 1}, {3, 2}, {5, 3},
+	}
+	budget := core.DefaultConfig()
+	budget.MaxBUSteps = 2_000_000
+	budget.MaxRelations = 2_000_000
+
+	for trial := 0; trial < 60; trial++ {
+		prog := randomProgram(rng)
+		file := FileProperty()
+		ts, err := NewAnalysis(prog, map[string]*Property{"s1": file, "s2": file}, nil)
+		if err != nil {
+			t.Fatalf("trial %d: NewAnalysis: %v", trial, err)
+		}
+		an, err := core.NewAnalysis[AbsID, RelID, FormulaID](ts, prog)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		init := ts.InitialState()
+
+		tdCfg := budget
+		tdCfg.K = core.Unlimited
+		td := an.RunTD(init, tdCfg)
+		if !td.Completed() {
+			t.Fatalf("trial %d: TD did not complete: %v", trial, td.Err)
+		}
+		tdMain := statesAt(an, td, prog.Entry, init)
+
+		for _, c := range configs {
+			cfg := budget
+			cfg.K = c.k
+			cfg.Theta = c.theta
+			sw := an.RunSwift(init, cfg)
+			if !sw.Completed() {
+				t.Fatalf("trial %d k=%d θ=%d: SWIFT did not complete: %v", trial, c.k, c.theta, sw.Err)
+			}
+			if node, ok := sameStates(tdMain, statesAt(an, sw, prog.Entry, init)); !ok {
+				t.Errorf("trial %d k=%d θ=%d: states at node %d of %s differ from TD\nprogram:\n%s",
+					trial, c.k, c.theta, node, prog.Entry, ir.Print(prog))
+			}
+			// Every procedure SWIFT analyzed top-down must agree with TD at
+			// each of its nodes on the contexts both analyzed.
+			if sw.TDSummaryTotal() > td.TDSummaryTotal() {
+				t.Errorf("trial %d k=%d θ=%d: SWIFT computed more TD summaries (%d) than TD (%d)",
+					trial, c.k, c.theta, sw.TDSummaryTotal(), td.TDSummaryTotal())
+			}
+		}
+
+		buCfg := budget
+		buCfg.Theta = core.Unlimited
+		bu := an.RunBU(init, buCfg)
+		if bu.Err == core.ErrBudget {
+			continue // expected on occasional blow-up programs
+		}
+		if !bu.Completed() {
+			t.Fatalf("trial %d: BU failed unexpectedly: %v", trial, bu.Err)
+		}
+		if node, ok := sameStates(tdMain, statesAt(an, bu, prog.Entry, init)); !ok {
+			t.Errorf("trial %d: BU states at node %d of %s differ from TD\nprogram:\n%s",
+				trial, node, prog.Entry, ir.Print(prog))
+		}
+	}
+}
+
+// TestPruningFallbackSoundness replays Section 2.4: with two parameters,
+// pruning keeps only some of the applicable cases; SWIFT must then
+// re-analyze top-down rather than answer from an incomplete summary. The
+// observable guarantee is coincidence with TD even at θ=1 on a program
+// where multiple relational cases apply to one state.
+func TestPruningFallbackSoundness(t *testing.T) {
+	// foo(f, g) { if (*) { f.open(); f.close(); } else { g.open(); } }
+	prog := ir.NewProgram("main")
+	prog.Add(&ir.Proc{Name: "foo", Body: &ir.Choice{Alts: []ir.Cmd{
+		&ir.Seq{Cmds: []ir.Cmd{
+			&ir.Prim{Kind: ir.TSCall, Dst: "f", Method: "open"},
+			&ir.Prim{Kind: ir.TSCall, Dst: "f", Method: "close"},
+		}},
+		&ir.Prim{Kind: ir.TSCall, Dst: "g", Method: "open"},
+	}}})
+	// main drives foo with states where f,g ∈ a; f ∈ a only; g ∈ a only;
+	// neither — enough incoming diversity to trigger at k=2.
+	var cmds []ir.Cmd
+	mk := func(site string, fSrc, gSrc string) []ir.Cmd {
+		return []ir.Cmd{
+			&ir.Prim{Kind: ir.New, Dst: "x", Site: site},
+			&ir.Prim{Kind: ir.Copy, Dst: "f", Src: fSrc},
+			&ir.Prim{Kind: ir.Copy, Dst: "g", Src: gSrc},
+			&ir.Call{Callee: "foo"},
+		}
+	}
+	cmds = append(cmds, mk("h1", "x", "x")...) // f,g both must-alias
+	cmds = append(cmds, mk("h2", "x", "f")...)
+	cmds = append(cmds, mk("h3", "x", "x")...)
+	cmds = append(cmds, mk("h4", "f", "x")...) // g must-alias, f stale
+	prog.Add(&ir.Proc{Name: "main", Body: &ir.Seq{Cmds: cmds}})
+
+	file := FileProperty()
+	track := map[string]*Property{"h1": file, "h2": file, "h3": file, "h4": file}
+	ts, err := NewAnalysis(prog, track, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.NewAnalysis[AbsID, RelID, FormulaID](ts, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := ts.InitialState()
+	td := an.RunTD(init, core.TDConfig())
+	if !td.Completed() {
+		t.Fatalf("TD: %v", td.Err)
+	}
+	for _, theta := range []int{1, 2, 3} {
+		cfg := core.DefaultConfig()
+		cfg.K = 2
+		cfg.Theta = theta
+		sw := an.RunSwift(init, cfg)
+		if !sw.Completed() {
+			t.Fatalf("SWIFT θ=%d: %v", theta, sw.Err)
+		}
+		if node, ok := sameStates(statesAt(an, td, "main", init), statesAt(an, sw, "main", init)); !ok {
+			t.Errorf("θ=%d: states differ from TD at main node %d", theta, node)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package typestate
+
+import (
+	"testing"
+
+	"swift/internal/core"
+	"swift/internal/ir"
+)
+
+// figure1Program builds the paper's running example (Figure 1):
+//
+//	main() { f = new File /*h1*/; foo(f);
+//	         f = new File /*h2*/; foo(f);
+//	         f = new File /*h3*/; foo(f); }
+//	foo(File f) { f.open(); f.close(); }
+//
+// Using f directly as the argument variable makes the abstract states match
+// the paper's A1–A5 exactly.
+func figure1Program() *ir.Program {
+	p := ir.NewProgram("main")
+	p.Add(&ir.Proc{Name: "foo", Body: &ir.Seq{Cmds: []ir.Cmd{
+		&ir.Prim{Kind: ir.TSCall, Dst: "f", Method: "open"},
+		&ir.Prim{Kind: ir.TSCall, Dst: "f", Method: "close"},
+	}}})
+	p.Add(&ir.Proc{Name: "main", Body: &ir.Seq{Cmds: []ir.Cmd{
+		&ir.Prim{Kind: ir.New, Dst: "f", Site: "h1"},
+		&ir.Call{Callee: "foo"},
+		&ir.Prim{Kind: ir.New, Dst: "f", Site: "h2"},
+		&ir.Call{Callee: "foo"},
+		&ir.Prim{Kind: ir.New, Dst: "f", Site: "h3"},
+		&ir.Call{Callee: "foo"},
+	}}})
+	return p
+}
+
+func figure1Analysis(t *testing.T) (*Analysis, *core.Analysis[AbsID, RelID, FormulaID]) {
+	t.Helper()
+	prog := figure1Program()
+	file := FileProperty()
+	ts, err := NewAnalysis(prog, map[string]*Property{"h1": file, "h2": file, "h3": file}, nil)
+	if err != nil {
+		t.Fatalf("NewAnalysis: %v", err)
+	}
+	an, err := core.NewAnalysis[AbsID, RelID, FormulaID](ts, prog)
+	if err != nil {
+		t.Fatalf("core.NewAnalysis: %v", err)
+	}
+	return ts, an
+}
+
+func mustState(t *testing.T, ts *Analysis, site, state string, must, mustNot []string) AbsID {
+	t.Helper()
+	s, err := ts.MakeState(site, state, must, mustNot)
+	if err != nil {
+		t.Fatalf("MakeState(%s,%s): %v", site, state, err)
+	}
+	return s
+}
+
+// TestFigure1TopDownSummaries checks that the conventional top-down
+// analysis computes the five context-specific summaries T1–T5 of Figure 1
+// for procedure foo (plus one summary for the bootstrap "no object" state).
+func TestFigure1TopDownSummaries(t *testing.T) {
+	ts, an := figure1Analysis(t)
+	res := an.RunTD(ts.InitialState(), core.TDConfig())
+	if !res.Completed() {
+		t.Fatalf("TD did not complete: %v", res.Err)
+	}
+	want := []struct {
+		name          string
+		site          string
+		must, mustNot []string
+	}{
+		{"T1", "h1", []string{"f"}, nil},
+		{"T2", "h2", []string{"f"}, nil},
+		{"T3", "h1", nil, []string{"f"}},
+		{"T4", "h2", nil, []string{"f"}},
+		{"T5", "h3", []string{"f"}, nil},
+	}
+	for _, w := range want {
+		in := mustState(t, ts, w.site, "closed", w.must, w.mustNot)
+		exits := res.TD.Summaries["foo"][in]
+		if len(exits) != 1 || exits[0] != in {
+			var got []string
+			for _, e := range exits {
+				got = append(got, ts.StateString(e))
+			}
+			t.Errorf("%s: summary of foo for %s = %v, want identity", w.name, ts.StateString(in), got)
+		}
+	}
+	// Five paper summaries plus the bootstrap state's identity summary.
+	if n := res.TD.SummaryCount("foo"); n != 6 {
+		t.Errorf("foo has %d top-down summaries, want 6", n)
+	}
+	// No object may reach the error state in this program.
+	for _, s := range res.ExitStates("main", ts.InitialState()) {
+		if ts.IsError(s) {
+			t.Errorf("error state at main exit: %s", ts.StateString(s))
+		}
+	}
+}
+
+// TestFigure1BottomUpSummaries checks that the conventional bottom-up
+// analysis computes exactly the four relational cases B1–B4 of Figure 1 for
+// procedure foo, and that they instantiate correctly on the paper's states.
+func TestFigure1BottomUpSummaries(t *testing.T) {
+	ts, an := figure1Analysis(t)
+	res := an.RunBU(ts.InitialState(), core.BUConfig())
+	if !res.Completed() {
+		t.Fatalf("BU did not complete: %v", res.Err)
+	}
+	foo := res.BU["foo"]
+	if foo.Size() != 4 {
+		for _, r := range foo.Rels {
+			t.Logf("relation: %s", ts.RelString(r))
+		}
+		t.Fatalf("foo has %d bottom-up summaries, want 4 (B1–B4)", foo.Size())
+	}
+	// Instantiate on the paper's incoming states and check the outcomes.
+	closedMust := func(site string) AbsID { return mustState(t, ts, site, "closed", []string{"f"}, nil) }
+	closedNot := func(site string) AbsID { return mustState(t, ts, site, "closed", nil, []string{"f"}) }
+	cases := []struct {
+		in   AbsID
+		want AbsID
+	}{
+		// B2: f in must set → (ι_close ∘ ι_open)(closed) = closed.
+		{closedMust("h1"), closedMust("h1")},
+		{closedMust("h3"), closedMust("h3")},
+		// B1: f in must-not set → unchanged.
+		{closedNot("h1"), closedNot("h1")},
+		{closedNot("h2"), closedNot("h2")},
+	}
+	for _, c := range cases {
+		out := core.ApplySummary[AbsID, RelID, FormulaID](ts, foo, c.in)
+		if len(out) != 1 || out[0] != c.want {
+			var got []string
+			for _, o := range out {
+				got = append(got, ts.StateString(o))
+			}
+			t.Errorf("summary(%s) = %v, want %s", ts.StateString(c.in), got, ts.StateString(c.want))
+		}
+	}
+	// B3: f unknown and may-alias → error (weak update).
+	unknown := mustState(t, ts, "h1", "closed", nil, nil)
+	out := core.ApplySummary[AbsID, RelID, FormulaID](ts, foo, unknown)
+	if len(out) != 1 || !ts.IsError(out[0]) {
+		t.Errorf("summary on unknown aliasing should give error, got %v", out)
+	}
+	// An opened file with f in the must set goes to error (close∘open of
+	// opened is error).
+	opened := mustState(t, ts, "h1", "opened", []string{"f"}, nil)
+	out = core.ApplySummary[AbsID, RelID, FormulaID](ts, foo, opened)
+	if len(out) != 1 || !ts.IsError(out[0]) {
+		t.Errorf("summary on opened file should give error, got %v", out)
+	}
+}
+
+// TestOverviewHybridWalkthrough replays Section 2.3: with k=2 and θ=2,
+// SWIFT triggers the bottom-up analysis after the second call site, keeps
+// the two dominant cases B1 and B2, and answers the remaining calls from
+// them — computing strictly fewer top-down summaries than the conventional
+// top-down analysis while producing the same program result.
+func TestOverviewHybridWalkthrough(t *testing.T) {
+	ts, an := figure1Analysis(t)
+	cfg := core.DefaultConfig()
+	cfg.K = 2
+	cfg.Theta = 2
+	swift := an.RunSwift(ts.InitialState(), cfg)
+	if !swift.Completed() {
+		t.Fatalf("SWIFT did not complete: %v", swift.Err)
+	}
+	if len(swift.Triggered) != 1 || swift.Triggered[0] != "foo" {
+		t.Fatalf("triggered = %v, want [foo]", swift.Triggered)
+	}
+	foo := swift.BU["foo"]
+	if foo.Size() != 2 {
+		for _, r := range foo.Rels {
+			t.Logf("kept: %s", ts.RelString(r))
+		}
+		t.Fatalf("pruned summary keeps %d cases, want 2 (B1 and B2)", foo.Size())
+	}
+	// The kept cases must be B1 and B2: they handle must and must-not
+	// incoming states, while the pruned B3/B4 (unknown aliasing) fall in Σ.
+	mustIn := mustState(t, ts, "h3", "closed", []string{"f"}, nil)
+	notIn := mustState(t, ts, "h2", "closed", nil, []string{"f"})
+	unknown := mustState(t, ts, "h1", "closed", nil, nil)
+	if core.Ignores[AbsID, RelID, FormulaID](ts, foo, mustIn) {
+		t.Errorf("must-alias state should not be ignored")
+	}
+	if core.Ignores[AbsID, RelID, FormulaID](ts, foo, notIn) {
+		t.Errorf("must-not-alias state should not be ignored")
+	}
+	if !core.Ignores[AbsID, RelID, FormulaID](ts, foo, unknown) {
+		t.Errorf("unknown-alias state should be in the ignored set Σ")
+	}
+	if n := core.ApplySummary[AbsID, RelID, FormulaID](ts, foo, mustIn); len(n) != 1 || n[0] != mustIn {
+		t.Errorf("B2 should map %s to itself", ts.StateString(mustIn))
+	}
+
+	td := an.RunTD(ts.InitialState(), core.TDConfig())
+	if got, want := swift.TD.SummaryCount("foo"), td.TD.SummaryCount("foo"); got >= want {
+		t.Errorf("SWIFT computes %d top-down summaries for foo, TD computes %d; want strictly fewer", got, want)
+	}
+	// Same final result (Theorem 3.1).
+	swiftExit := swift.ExitStates("main", ts.InitialState())
+	tdExit := td.ExitStates("main", ts.InitialState())
+	if len(swiftExit) != len(tdExit) {
+		t.Fatalf("exit states differ: swift=%d td=%d", len(swiftExit), len(tdExit))
+	}
+	for i := range swiftExit {
+		if swiftExit[i] != tdExit[i] {
+			t.Errorf("exit state %d differs: %s vs %s", i, ts.StateString(swiftExit[i]), ts.StateString(tdExit[i]))
+		}
+	}
+}

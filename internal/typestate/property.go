@@ -1,0 +1,200 @@
+// Package typestate instantiates the SWIFT framework on the type-state
+// analysis of the paper (Sections 2 and 3, after Fink et al.): each abstract
+// state is a tuple (h, t, a, n) of an allocation site, a finite-state-
+// machine state, a must-alias set and a must-not-alias set of access paths.
+// The bottom-up side implements the relational domain of Figure 3, extended
+// with must-not sets and access paths of the form v and v.f, exactly as the
+// paper's full implementation.
+package typestate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is a local state index within one property's finite-state machine.
+type State uint8
+
+// Property is a type-state property: a finite-state machine over the
+// methods of a tracked type. State 0 is the initial state; Error designates
+// the absorbing error state. Methods not listed leave the state unchanged.
+type Property struct {
+	// Name identifies the property (e.g. "File").
+	Name string
+	// States names the FSM states; index 0 is the initial state.
+	States []string
+	// Error is the index of the error state. Every transition out of Error
+	// is forced back to Error (the error state is absorbing), so an error
+	// reached anywhere inside a procedure is still visible at its exit.
+	Error State
+	// Methods maps a method name to its transition function, given as a
+	// dense table indexed by state.
+	Methods map[string][]State
+}
+
+// Validate checks internal consistency of the property definition.
+func (p *Property) Validate() error {
+	if len(p.States) == 0 {
+		return fmt.Errorf("typestate: property %q has no states", p.Name)
+	}
+	if len(p.States) > 250 {
+		return fmt.Errorf("typestate: property %q has too many states", p.Name)
+	}
+	if int(p.Error) >= len(p.States) {
+		return fmt.Errorf("typestate: property %q: error state out of range", p.Name)
+	}
+	for m, tab := range p.Methods {
+		if len(tab) != len(p.States) {
+			return fmt.Errorf("typestate: property %q: method %q has %d entries, want %d",
+				p.Name, m, len(tab), len(p.States))
+		}
+		for s, next := range tab {
+			if int(next) >= len(p.States) {
+				return fmt.Errorf("typestate: property %q: method %q maps state %d out of range",
+					p.Name, m, s)
+			}
+		}
+	}
+	return nil
+}
+
+// MethodNames returns the property's method names in sorted order.
+func (p *Property) MethodNames() []string {
+	out := make([]string, 0, len(p.Methods))
+	for m := range p.Methods {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stateIndex returns the index of a named state.
+func (p *Property) stateIndex(name string) (State, bool) {
+	for i, s := range p.States {
+		if s == name {
+			return State(i), true
+		}
+	}
+	return 0, false
+}
+
+// NewProperty builds a property from a transition list. states[0] is the
+// initial state; errState names the error state; each transition is
+// (method, from, to). Any (method, state) pair without an explicit
+// transition moves to the error state — the strict convention of type-state
+// checking ("calling a method in the wrong state is an error") — except that
+// transitions out of the error state always stay in the error state.
+func NewProperty(name string, states []string, errState string, transitions [][3]string) (*Property, error) {
+	p := &Property{Name: name, States: states, Methods: map[string][]State{}}
+	found := false
+	for i, s := range states {
+		if s == errState {
+			p.Error = State(i)
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("typestate: error state %q not among states of %q", errState, name)
+	}
+	for _, tr := range transitions {
+		m, from, to := tr[0], tr[1], tr[2]
+		fromIdx, ok := p.stateIndex(from)
+		if !ok {
+			return nil, fmt.Errorf("typestate: property %q: transition %s uses unknown state %q", name, m, from)
+		}
+		toIdx, ok := p.stateIndex(to)
+		if !ok {
+			return nil, fmt.Errorf("typestate: property %q: transition %s uses unknown state %q", name, m, to)
+		}
+		tab, ok := p.Methods[m]
+		if !ok {
+			tab = make([]State, len(states))
+			for i := range tab {
+				tab[i] = p.Error
+			}
+			tab[p.Error] = p.Error
+			p.Methods[m] = tab
+		}
+		tab[fromIdx] = toIdx
+	}
+	// The error state is absorbing.
+	for _, tab := range p.Methods {
+		tab[p.Error] = p.Error
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// mustProperty is NewProperty for the package's built-in definitions.
+func mustProperty(name string, states []string, errState string, transitions [][3]string) *Property {
+	p, err := NewProperty(name, states, errState, transitions)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FileProperty is the classic file protocol used throughout the paper's
+// examples: a file starts closed, open() moves closed→opened, close() moves
+// opened→closed, and any other use is an error.
+func FileProperty() *Property {
+	return mustProperty("File",
+		[]string{"closed", "opened", "error"}, "error",
+		[][3]string{
+			{"open", "closed", "opened"},
+			{"close", "opened", "closed"},
+			{"read", "opened", "opened"},
+			{"write", "opened", "opened"},
+		})
+}
+
+// IteratorProperty models java.util.Iterator: next() may only be called
+// after hasNext() has been checked.
+func IteratorProperty() *Property {
+	return mustProperty("Iterator",
+		[]string{"start", "checked", "error"}, "error",
+		[][3]string{
+			{"hasNext", "start", "checked"},
+			{"hasNext", "checked", "checked"},
+			{"next", "checked", "start"},
+		})
+}
+
+// ConnectionProperty models a network connection: it must be opened before
+// use and not used after close.
+func ConnectionProperty() *Property {
+	return mustProperty("Connection",
+		[]string{"fresh", "open", "closed", "error"}, "error",
+		[][3]string{
+			{"connect", "fresh", "open"},
+			{"send", "open", "open"},
+			{"recv", "open", "open"},
+			{"close", "open", "closed"},
+		})
+}
+
+// StreamProperty models a one-shot stream: it yields elements until
+// exhausted and must not be read after exhaustion.
+func StreamProperty() *Property {
+	return mustProperty("Stream",
+		[]string{"ready", "done", "error"}, "error",
+		[][3]string{
+			{"get", "ready", "ready"},
+			{"finish", "ready", "done"},
+		})
+}
+
+// KeyProperty models an enumeration/dictionary cursor with explicit reset.
+func KeyProperty() *Property {
+	return mustProperty("KeyedCursor",
+		[]string{"idle", "active", "error"}, "error",
+		[][3]string{
+			{"begin", "idle", "active"},
+			{"step", "active", "active"},
+			{"end", "active", "idle"},
+			{"reset", "idle", "idle"},
+			{"reset", "active", "idle"},
+		})
+}

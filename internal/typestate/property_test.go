@@ -1,0 +1,189 @@
+package typestate
+
+import (
+	"strings"
+	"testing"
+
+	"swift/internal/core"
+	"swift/internal/ir"
+)
+
+func TestBuiltinPropertiesValid(t *testing.T) {
+	for _, p := range []*Property{
+		FileProperty(), IteratorProperty(), ConnectionProperty(),
+		StreamProperty(), KeyProperty(),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		// The error state must be absorbing under every method.
+		for m, tab := range p.Methods {
+			if tab[p.Error] != p.Error {
+				t.Errorf("%s.%s leaves the error state", p.Name, m)
+			}
+		}
+	}
+}
+
+func TestNewPropertySemantics(t *testing.T) {
+	p, err := NewProperty("Lock", []string{"unlocked", "locked", "err"}, "err",
+		[][3]string{
+			{"acquire", "unlocked", "locked"},
+			{"release", "locked", "unlocked"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unlisted (method, state) pairs go to the error state.
+	if got := p.Methods["acquire"][1]; got != p.Error {
+		t.Errorf("double acquire goes to state %d, want error", got)
+	}
+	if got := p.Methods["release"][0]; got != p.Error {
+		t.Errorf("release while unlocked goes to state %d, want error", got)
+	}
+	names := p.MethodNames()
+	if len(names) != 2 || names[0] != "acquire" {
+		t.Errorf("MethodNames = %v", names)
+	}
+}
+
+func TestNewPropertyRejects(t *testing.T) {
+	if _, err := NewProperty("X", []string{"a"}, "missing", nil); err == nil {
+		t.Error("missing error state accepted")
+	}
+	if _, err := NewProperty("X", []string{"a", "e"}, "e",
+		[][3]string{{"m", "ghost", "a"}}); err == nil || !strings.Contains(err.Error(), "unknown state") {
+		t.Errorf("unknown from-state: err = %v", err)
+	}
+	if _, err := NewProperty("X", []string{"a", "e"}, "e",
+		[][3]string{{"m", "a", "ghost"}}); err == nil || !strings.Contains(err.Error(), "unknown state") {
+		t.Errorf("unknown to-state: err = %v", err)
+	}
+}
+
+func TestMakeStateErrors(t *testing.T) {
+	ts, _ := conditionsAnalysis(t)
+	if _, err := ts.MakeState("nosite", "", nil, nil); err == nil {
+		t.Error("unknown site accepted")
+	}
+	if _, err := ts.MakeState("h1", "nostate", nil, nil); err == nil {
+		t.Error("unknown state accepted")
+	}
+	if _, err := ts.MakeState("h3", "something", nil, nil); err == nil {
+		t.Error("state on untracked site accepted")
+	}
+	if _, err := ts.MakeState("h1", "closed", []string{"ghost"}, nil); err == nil {
+		t.Error("unknown path accepted")
+	}
+	s, err := ts.MakeState("h1", "closed", []string{"u", "v.f"}, []string{"w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := ts.StateString(s)
+	if !strings.Contains(str, "h1") || !strings.Contains(str, "closed") {
+		t.Errorf("StateString = %q", str)
+	}
+}
+
+func TestErrorSitesAndIsError(t *testing.T) {
+	ts, _ := conditionsAnalysis(t)
+	errState, err := ts.MakeState("h1", "error", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okState, _ := ts.MakeState("h2", "start", nil, nil)
+	if !ts.IsError(errState) || ts.IsError(okState) {
+		t.Error("IsError wrong")
+	}
+	if ts.IsError(ts.InitialState()) {
+		t.Error("bootstrap state marked as error")
+	}
+	sites := ts.ErrorSites([]AbsID{errState, okState, ts.InitialState()})
+	if len(sites) != 1 || sites[0] != "h1" {
+		t.Errorf("ErrorSites = %v", sites)
+	}
+	if ts.Site(ts.InitialState()) != "<none>" {
+		t.Errorf("Site(init) = %q", ts.Site(ts.InitialState()))
+	}
+}
+
+func TestCountsExposed(t *testing.T) {
+	ts, _ := conditionsAnalysis(t)
+	if ts.PathCount() <= 0 || ts.SiteCount() <= 1 || ts.StateCount() <= 0 || ts.RelCount() <= 0 {
+		t.Error("counters empty")
+	}
+}
+
+// TestMultiPropertyPrograms checks that two properties coexist: transitions
+// of one never affect objects of the other.
+func TestMultiPropertyPrograms(t *testing.T) {
+	prog := ir.NewProgram("main")
+	prog.Add(&ir.Proc{Name: "main", Body: &ir.Seq{Cmds: []ir.Cmd{
+		&ir.Prim{Kind: ir.New, Dst: "f", Site: "hf"},
+		&ir.Prim{Kind: ir.New, Dst: "i", Site: "hi"},
+		&ir.Prim{Kind: ir.TSCall, Dst: "f", Method: "open"},
+		&ir.Prim{Kind: ir.TSCall, Dst: "i", Method: "hasNext"},
+		&ir.Prim{Kind: ir.TSCall, Dst: "i", Method: "next"},
+		&ir.Prim{Kind: ir.TSCall, Dst: "f", Method: "close"},
+	}}})
+	ts, err := NewAnalysis(prog, map[string]*Property{
+		"hf": FileProperty(),
+		"hi": IteratorProperty(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.NewAnalysis[AbsID, RelID, FormulaID](ts, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := an.RunTD(ts.InitialState(), core.TDConfig())
+	if !res.Completed() {
+		t.Fatal(res.Err)
+	}
+	for _, s := range res.ExitStates("main", ts.InitialState()) {
+		if ts.IsError(s) {
+			t.Errorf("spurious error: %s", ts.StateString(s))
+		}
+	}
+	// Misuse of the iterator protocol errors only hi.
+	prog2 := ir.NewProgram("main")
+	prog2.Add(&ir.Proc{Name: "main", Body: &ir.Seq{Cmds: []ir.Cmd{
+		&ir.Prim{Kind: ir.New, Dst: "f", Site: "hf"},
+		&ir.Prim{Kind: ir.New, Dst: "i", Site: "hi"},
+		&ir.Prim{Kind: ir.TSCall, Dst: "i", Method: "next"}, // before hasNext
+		&ir.Prim{Kind: ir.TSCall, Dst: "f", Method: "open"},
+	}}})
+	ts2, _ := NewAnalysis(prog2, map[string]*Property{
+		"hf": FileProperty(),
+		"hi": IteratorProperty(),
+	}, nil)
+	an2, _ := core.NewAnalysis[AbsID, RelID, FormulaID](ts2, prog2)
+	res2 := an2.RunTD(ts2.InitialState(), core.TDConfig())
+	sites := ts2.ErrorSites(res2.TD.AllStates())
+	if len(sites) != 1 || sites[0] != "hi" {
+		t.Errorf("error sites = %v, want [hi]", sites)
+	}
+}
+
+// TestRelStringForms covers the relation printer's branches.
+func TestRelStringForms(t *testing.T) {
+	ts, prims := conditionsAnalysis(t)
+	seenConst, seenXform := false, false
+	for _, p := range prims {
+		for _, r := range ts.RTrans(p, ts.Identity()) {
+			s := ts.RelString(r)
+			if strings.HasPrefix(s, "const") {
+				seenConst = true
+			} else if strings.Contains(s, "if") {
+				seenXform = true
+			}
+		}
+	}
+	if !seenConst || !seenXform {
+		t.Errorf("RelString coverage: const=%v xform=%v", seenConst, seenXform)
+	}
+	if got := ts.RelString(ts.Identity()); !strings.Contains(got, "id") {
+		t.Errorf("identity renders as %q", got)
+	}
+}

@@ -1,0 +1,164 @@
+package typestate
+
+import (
+	"fmt"
+
+	"swift/internal/ir"
+)
+
+// This file implements the top-down transfer functions trans(c): S → 2^S of
+// Figure 2, extended with must-not sets and one-field access paths (the
+// paper's full implementation). Condition C1 — exact agreement with the
+// relational rtrans of rel.go — is enforced by property tests.
+//
+// Must-not sets are manipulated through their complements (absState.nc):
+// adding p to the must-not set removes it from nc, and vice versa.
+
+// Trans implements core.Client. It conservatively updates the type-state
+// and the alias sets of the incoming abstract object.
+func (a *Analysis) Trans(c *ir.Prim, s AbsID) []AbsID {
+	t := a.tab
+	st := t.absOf(s)
+	switch c.Kind {
+	case ir.Nop, ir.Assert:
+		return []AbsID{s}
+
+	case ir.New:
+		// The destination now points at the fresh object, so it definitely
+		// does not alias the incoming object: v joins its must-not set,
+		// and all other paths rooted at v become unknown.
+		rooted := t.rooted(c.Dst)
+		vp := a.mustPath(c.Dst, "")
+		nc := t.setUnionElems(st.nc, rooted)
+		if t.relevant[vp] {
+			nc = t.setMinus(nc, []PathID{vp})
+		}
+		old := absState{
+			h:  st.h,
+			t:  st.t,
+			a:  t.setMinus(st.a, rooted),
+			nc: nc,
+		}
+		out := []AbsID{t.internAbs(old)}
+		if site := t.siteIDs[c.Site]; t.sitePropOf[site] >= 0 {
+			// The fresh object is referenced only by v: every other path
+			// must-not-alias it (Fink et al.'s uniqueness).
+			fresh := absState{
+				h:  site,
+				t:  t.propBase[t.sitePropOf[site]], // the property's initial state
+				a:  t.internSet([]PathID{vp}),
+				nc: t.internSet(rooted),
+			}
+			out = append(out, t.internAbs(fresh))
+		}
+		return out
+
+	case ir.Copy:
+		if c.Dst == c.Src {
+			return []AbsID{s}
+		}
+		return []AbsID{a.copyLike(st, c.Dst, a.mustPath(c.Src, ""))}
+
+	case ir.Load:
+		return []AbsID{a.copyLike(st, c.Dst, a.mustPath(c.Src, c.Field))}
+
+	case ir.Store:
+		return []AbsID{a.storeTrans(st, c.Dst, c.Field, a.mustPath(c.Src, ""))}
+
+	case ir.TSCall:
+		return []AbsID{a.tsCallTrans(st, a.mustPath(c.Dst, ""), c.Method)}
+
+	case ir.Kill:
+		rooted := t.rooted(c.Dst)
+		return []AbsID{t.internAbs(absState{
+			h: st.h, t: st.t,
+			a:  t.setMinus(st.a, rooted),
+			nc: t.setUnionElems(st.nc, rooted),
+		})}
+	}
+	panic(fmt.Sprintf("typestate: Trans on unknown primitive %v", c.Kind))
+}
+
+// copyLike handles v = src for a variable or one-field source path: the
+// destination inherits the source's known alias status with respect to the
+// tracked object; all paths rooted at the destination are invalidated
+// first. The source status is read before the invalidation, which makes
+// self-referencing loads (v = v.f) behave correctly.
+// statusA reports "src must-aliases the object" with the static relevance
+// filter applied: a path that can point to no tracked object never
+// must-aliases one.
+func (a *Analysis) statusA(st absState, p PathID) bool {
+	return a.tab.relevant[p] && a.tab.setHas(st.a, p)
+}
+
+// statusN reports "src must-not-aliases the object": statically irrelevant
+// paths always do.
+func (a *Analysis) statusN(st absState, p PathID) bool {
+	return !a.tab.relevant[p] || a.tab.inMustNot(st, p)
+}
+
+func (a *Analysis) copyLike(st absState, dst string, src PathID) AbsID {
+	t := a.tab
+	inA := a.statusA(st, src)
+	inN := a.statusN(st, src)
+	rooted := t.rooted(dst)
+	dp := a.mustPath(dst, "")
+	a2 := t.setMinus(st.a, rooted)
+	nc2 := t.setUnionElems(st.nc, rooted)
+	switch {
+	case inA && t.relevant[dp]:
+		a2 = t.setInsert(a2, dp)
+	case inN && t.relevant[dp]:
+		nc2 = t.setMinus(nc2, []PathID{dp})
+	}
+	return t.internAbs(absState{h: st.h, t: st.t, a: a2, nc: nc2})
+}
+
+// storeTrans handles v.f = w. The store may overwrite the f-field of any
+// object the analysis cannot distinguish from v's target, so all paths
+// carrying field f lose their must status; they keep their must-not status
+// only when the stored value itself must-not-alias the tracked object.
+func (a *Analysis) storeTrans(st absState, dst, field string, src PathID) AbsID {
+	t := a.tab
+	inA := a.statusA(st, src)
+	inN := a.statusN(st, src)
+	ff := t.withField(field)
+	vf := a.mustPath(dst, field)
+	a2 := t.setMinus(st.a, ff)
+	var nc2 SetID
+	switch {
+	case inA:
+		if t.relevant[vf] {
+			a2 = t.setInsert(a2, vf)
+		}
+		nc2 = t.setUnionElems(st.nc, ff)
+	case inN:
+		nc2 = st.nc
+		if t.relevant[vf] {
+			nc2 = t.setMinus(nc2, []PathID{vf})
+		}
+	default:
+		nc2 = t.setUnionElems(st.nc, ff)
+	}
+	return t.internAbs(absState{h: st.h, t: st.t, a: a2, nc: nc2})
+}
+
+// tsCallTrans handles v.m(): a strong update when v must-alias the tracked
+// object, a no-op when it must not, and otherwise the conservative
+// error-or-no-op split decided by the global may-alias oracle (exactly the
+// B1–B4 cases of the paper's Figure 1).
+func (a *Analysis) tsCallTrans(st absState, v PathID, method string) AbsID {
+	t := a.tab
+	switch {
+	case a.statusA(st, v):
+		g := t.applyTrans(t.methodTransformer(method), st.t)
+		return t.internAbs(absState{h: st.h, t: g, a: st.a, nc: st.nc})
+	case a.statusN(st, v):
+		return t.internAbs(st)
+	case t.mayAlias[v][st.h]:
+		g := t.applyTrans(t.errTrans, st.t)
+		return t.internAbs(absState{h: st.h, t: g, a: st.a, nc: st.nc})
+	default:
+		return t.internAbs(st)
+	}
+}
