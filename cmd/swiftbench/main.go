@@ -2,48 +2,76 @@
 // on the synthetic benchmark suite:
 //
 //	swiftbench -table 1      benchmark characteristics (paper Table 1)
-//	swiftbench -table 2      TD vs BU vs SWIFT times and summaries (Table 2)
+//	swiftbench -table 2      TD vs BU vs SWIFT costs and summaries (Table 2)
 //	swiftbench -table 3      k sweep on the avrora stand-in (Table 3)
 //	swiftbench -table 4      θ=1 vs θ=2 (Table 4)
 //	swiftbench -figure 5     per-method summary distributions (Figure 5)
 //	swiftbench -all          everything
 //
-// -quick uses reduced budgets for a fast smoke run.
+// -quick uses reduced budgets for a fast smoke run. -parallel bounds how
+// many engine runs execute concurrently (default GOMAXPROCS); tables are
+// byte-identical at any setting — only wall-clock changes, reported per run
+// and in total on stderr. -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"swift/internal/bench"
 )
 
 func main() {
 	var (
-		tableN   = flag.Int("table", 0, "render table 1–4")
-		figureN  = flag.Int("figure", 0, "render figure 5")
-		all      = flag.Bool("all", false, "render every table and figure")
-		quick    = flag.Bool("quick", false, "use reduced budgets (smoke run)")
-		taint    = flag.Bool("taint", false, "run the kill/gen taint client generality experiment")
-		ablation = flag.Bool("ablation", false, "run the re-summarization ablation")
-		verify   = flag.Bool("verify", false, "assert the paper's completion pattern holds")
+		tableN     = flag.Int("table", 0, "render table 1–4")
+		figureN    = flag.Int("figure", 0, "render figure 5")
+		all        = flag.Bool("all", false, "render every table and figure")
+		quick      = flag.Bool("quick", false, "use reduced budgets (smoke run)")
+		taint      = flag.Bool("taint", false, "run the kill/gen taint client generality experiment")
+		ablation   = flag.Bool("ablation", false, "run the re-summarization ablation")
+		verify     = flag.Bool("verify", false, "assert the paper's completion pattern holds")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent engine runs (1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if !*all && *tableN == 0 && *figureN == 0 && !*taint && !*ablation && !*verify {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swiftbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "swiftbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	budget := bench.DefaultBudget()
 	if *quick {
 		budget = bench.QuickBudget()
 	}
 	s := bench.NewSuite()
+	s.Parallel = *parallel
+	s.Telemetry = os.Stderr
+	start := time.Now()
 	run := func(name string, f func() error) {
+		stepStart := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "swiftbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		fmt.Fprintf(os.Stderr, "swiftbench: %s wall-clock %s (parallel=%d)\n",
+			name, time.Since(stepStart).Round(time.Millisecond), *parallel)
 		fmt.Println()
 	}
 	if *all || *tableN == 1 {
@@ -69,5 +97,20 @@ func main() {
 	}
 	if *verify {
 		run("verify", func() error { return s.Verify(os.Stdout, budget) })
+	}
+	fmt.Fprintf(os.Stderr, "swiftbench: total wall-clock %s (parallel=%d)\n",
+		time.Since(start).Round(time.Millisecond), *parallel)
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swiftbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "swiftbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,6 +1,14 @@
 // Package bench is the experiment harness of the reproduction: it runs the
 // three engines over the synthetic benchmark suite and renders every table
 // and figure of the paper's evaluation section (Tables 1–4 and Figure 5).
+//
+// Runs are independent — each gets its own freshly built pipeline — so the
+// harness executes them on a bounded worker pool (Suite.Parallel) and
+// assembles results in deterministic profile order: every table and figure
+// renders byte-identically whatever the parallelism. Table cells therefore
+// never contain wall-clock time; they show the engines' deterministic work
+// counters scaled to a nominal cost duration (see EngineRun.Cost), while
+// real wall-clock goes to the Telemetry stream.
 package bench
 
 import (
@@ -8,6 +16,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"swift/internal/benchprog"
@@ -62,88 +71,184 @@ func (b Budget) config(k, theta int) core.Config {
 	return cfg
 }
 
-// Suite caches built pipelines per benchmark so several experiments can
-// share them.
+// Suite caches generated benchmark programs (and one inspection pipeline
+// per benchmark) so several experiments can share them. The cache is safe
+// for concurrent use: lookups are single-flight per benchmark, so parallel
+// runs of the same benchmark generate it once.
 type Suite struct {
 	Profiles []benchprog.Profile
-	builds   map[string]*driver.Build
-	progs    map[string]*hir.Program
+
+	// Parallel bounds how many engine runs execute concurrently in the
+	// experiment sweeps; zero or negative means GOMAXPROCS.
+	Parallel int
+
+	// Telemetry, when non-nil, receives one line of real wall-clock timing
+	// per engine run. It is kept separate from the table writers so table
+	// output stays byte-identical across Parallel settings.
+	Telemetry io.Writer
+
+	mu      sync.Mutex
+	entries map[string]*suiteEntry
+	telMu   sync.Mutex
+}
+
+// suiteEntry single-flights one benchmark's program generation and
+// inspection build.
+type suiteEntry struct {
+	profile benchprog.Profile
+
+	progOnce sync.Once
+	prog     *hir.Program
+	progErr  error
+
+	buildOnce sync.Once
+	build     *driver.Build
+	buildErr  error
 }
 
 // NewSuite returns a suite over the full 12-benchmark set.
 func NewSuite() *Suite {
 	return &Suite{
 		Profiles: benchprog.Profiles(),
-		builds:   map[string]*driver.Build{},
-		progs:    map[string]*hir.Program{},
+		entries:  map[string]*suiteEntry{},
 	}
 }
 
-// Build returns the prepared pipeline for a benchmark, generating and
-// caching it on first use.
-func (s *Suite) Build(name string) (*driver.Build, error) {
-	if b, ok := s.builds[name]; ok {
-		return b, nil
+// entry returns the benchmark's cache slot, creating it if needed.
+func (s *Suite) entry(name string) (*suiteEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[name]; ok {
+		return e, nil
 	}
 	p, ok := benchprog.ProfileByName(name)
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown benchmark %q", name)
 	}
-	prog, err := benchprog.Generate(p)
-	if err != nil {
-		return nil, err
-	}
-	b, err := driver.FromHIR(prog)
-	if err != nil {
-		return nil, err
-	}
-	s.progs[name] = prog
-	s.builds[name] = b
-	return b, nil
+	e := &suiteEntry{profile: p}
+	s.entries[name] = e
+	return e, nil
 }
 
-// Program returns the benchmark's HIR (after Build).
-func (s *Suite) Program(name string) *hir.Program { return s.progs[name] }
+// Program returns the benchmark's generated HIR, generating and caching it
+// on first use. The returned program is read-only shared state: pipeline
+// construction never mutates it, so concurrent builds may share it.
+func (s *Suite) Program(name string) (*hir.Program, error) {
+	e, err := s.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	e.progOnce.Do(func() {
+		e.prog, e.progErr = benchprog.Generate(e.profile)
+	})
+	return e.prog, e.progErr
+}
 
-// Release drops a cached pipeline. Analysis runs grow the pipeline's
-// interning tables (a budget-exhausted baseline run interns millions of
-// states), so experiments that are done with a benchmark release it to keep
-// the whole-suite memory footprint flat.
+// Build returns the benchmark's cached inspection pipeline (used by the
+// static-characteristics table and by experiments that only read lowered
+// code), generating it on first use. Engine runs do NOT use this pipeline —
+// see RunConfig.
+func (s *Suite) Build(name string) (*driver.Build, error) {
+	prog, err := s.Program(name)
+	if err != nil {
+		return nil, err
+	}
+	e, err := s.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	e.buildOnce.Do(func() {
+		e.build, e.buildErr = driver.FromHIR(prog)
+	})
+	return e.build, e.buildErr
+}
+
+// Release drops a benchmark's cached program and inspection pipeline.
+// Experiments that are done with a benchmark release it to keep the
+// whole-suite memory footprint flat. Safe to call concurrently; runs that
+// already hold the program keep it alive until they finish.
 func (s *Suite) Release(name string) {
-	delete(s.builds, name)
-	delete(s.progs, name)
+	s.mu.Lock()
+	delete(s.entries, name)
+	s.mu.Unlock()
 }
+
+// telemetry writes one formatted line to the Telemetry stream, if any.
+func (s *Suite) telemetry(format string, args ...any) {
+	if s.Telemetry == nil {
+		return
+	}
+	s.telMu.Lock()
+	defer s.telMu.Unlock()
+	fmt.Fprintf(s.Telemetry, format, args...)
+}
+
+// costPerWorkUnit scales the engines' deterministic work counters to the
+// nominal durations shown in tables: 1 µs per step or materialized object.
+const costPerWorkUnit = time.Microsecond
 
 // EngineRun is the outcome of one engine on one benchmark.
 type EngineRun struct {
-	Benchmark   string
-	Engine      string
-	Elapsed     time.Duration
+	Benchmark string
+	Engine    string
+	// Elapsed is the run's real wall-clock time. It varies with load,
+	// hardware and parallelism, so it is reported through Suite.Telemetry
+	// and never rendered into tables.
+	Elapsed time.Duration
+	// Work is the run's deterministic machine-independent cost
+	// (Result.WorkUnits): identical across repeated runs and across
+	// parallelism settings.
+	Work int
+	// Cost is Work scaled by costPerWorkUnit — the "time" tables print.
+	Cost        time.Duration
 	Completed   bool
 	TDSummaries int
 	BUSummaries int
 	Result      *driver.Result
 }
 
-// Run executes one engine on one benchmark.
-func (s *Suite) Run(name, engine string, budget Budget, k, theta int) (*EngineRun, error) {
-	b, err := s.Build(name)
+// RunConfig executes one engine on one benchmark with an explicit
+// configuration. Every run gets a freshly built pipeline: analysis runs
+// grow a pipeline's interning tables, and interning history influences how
+// the pruning operator breaks ranking ties, so sharing a pipeline across
+// runs would make results depend on run order. Fresh pipelines make every
+// run self-contained, which is also what lets independent runs execute
+// concurrently and still produce output identical to a serial sweep.
+func (s *Suite) RunConfig(name, engine string, cfg core.Config) (*EngineRun, error) {
+	prog, err := s.Program(name)
 	if err != nil {
 		return nil, err
 	}
-	res, err := b.Run(engine, budget.config(k, theta))
+	start := time.Now()
+	b, err := driver.FromHIR(prog)
 	if err != nil {
 		return nil, err
 	}
-	return &EngineRun{
+	res, err := b.Run(engine, cfg)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	run := &EngineRun{
 		Benchmark:   name,
 		Engine:      engine,
 		Elapsed:     res.Elapsed,
+		Work:        res.WorkUnits(),
+		Cost:        time.Duration(res.WorkUnits()) * costPerWorkUnit,
 		Completed:   res.Completed(),
 		TDSummaries: res.TDSummaryTotal(),
 		BUSummaries: res.BUSummaryTotal(),
 		Result:      res,
-	}, nil
+	}
+	s.telemetry("run %-10s %-6s k=%-3d θ=%-3d wall=%-8s (build+run) cost=%s\n",
+		name, engine, cfg.K, cfg.Theta, fmtDur(wall), fmtDur(run.Cost))
+	return run, nil
+}
+
+// Run executes one engine on one benchmark under a budget with the given
+// thresholds.
+func (s *Suite) Run(name, engine string, budget Budget, k, theta int) (*EngineRun, error) {
+	return s.RunConfig(name, engine, budget.config(k, theta))
 }
 
 // ---- shared rendering helpers ----

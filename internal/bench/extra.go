@@ -14,81 +14,112 @@ import (
 // smaller suite members — the framework-generality experiment: the same
 // hybrid machinery, triggered and pruned the same way, drives a completely
 // different abstract domain (bit-vector facts with guarded kill/gen
-// relations synthesized per Section 5.2).
+// relations synthesized per Section 5.2). Each (benchmark, engine) run
+// builds its own client and analysis (the kill/gen client is stateless
+// strings, so there is no interning history to share), so the runs execute
+// concurrently and assemble deterministically.
 func (s *Suite) TaintTable(w io.Writer, budget Budget) error {
-	header := []string{"benchmark", "TD time", "BU time", "SWIFT time", "TD summ (td)", "(swift)", "alerts"}
-	var rows [][]string
-	for _, name := range []string{"jpat-p", "elevator", "toba-s", "javasrc-p", "hedc", "antlr"} {
-		b, err := s.Build(name)
-		if err != nil {
-			return err
-		}
-		prog := b.Lowered.Prog
-		// Every third tracked allocation site is a taint source; reads are
-		// sinks and close() sanitizes.
-		var sites []string
-		for site := range b.Lowered.Track {
-			sites = append(sites, site)
-		}
-		sort.Strings(sites)
-		var sources []string
-		for i, site := range sites {
-			if i%3 == 0 {
-				sources = append(sources, site)
-			}
-		}
-		taint := killgen.NewTaint(prog, killgen.TaintConfig{
-			Sources:    sources,
-			Sanitizers: []string{"close"},
-			Sinks:      []string{"read"},
-		})
-		an, err := core.NewAnalysis[string, string, string](taint, prog)
-		if err != nil {
-			return err
-		}
-		init := taint.Initial()
-
-		run := func(engine string, k, theta int) *core.Result[string, string, string] {
-			cfg := budget.config(k, theta)
-			switch engine {
-			case "td":
-				cfg.K = core.Unlimited
-				return an.RunTD(init, cfg)
-			case "bu":
-				cfg.Theta = core.Unlimited
-				return an.RunBU(init, cfg)
-			default:
-				return an.RunSwift(init, cfg)
-			}
-		}
-		td := run("td", 5, 1)
-		bu := run("bu", 5, 1)
-		sw := run("swift", 5, 1)
-		alerts := 0
-		if sw.Completed() {
-			for _, st := range sw.TD.AllStates() {
-				if taint.Alerted(st) {
-					alerts = 1
-					break
+	names := []string{"jpat-p", "elevator", "toba-s", "javasrc-p", "hedc", "antlr"}
+	engines := []string{"td", "bu", "swift"}
+	type taintRun struct {
+		completed bool
+		cost      time.Duration
+		tdSumm    int
+		alerts    int
+	}
+	runs := make([]*taintRun, len(names)*len(engines))
+	var jobs []func() error
+	for i, name := range names {
+		for j, engine := range engines {
+			slot := i*len(engines) + j
+			name, engine := name, engine
+			jobs = append(jobs, func() error {
+				b, err := s.Build(name)
+				if err != nil {
+					return err
 				}
-			}
+				prog := b.Lowered.Prog
+				// Every third tracked allocation site is a taint source;
+				// reads are sinks and close() sanitizes.
+				var sites []string
+				for site := range b.Lowered.Track {
+					sites = append(sites, site)
+				}
+				sort.Strings(sites)
+				var sources []string
+				for k, site := range sites {
+					if k%3 == 0 {
+						sources = append(sources, site)
+					}
+				}
+				taint := killgen.NewTaint(prog, killgen.TaintConfig{
+					Sources:    sources,
+					Sanitizers: []string{"close"},
+					Sinks:      []string{"read"},
+				})
+				an, err := core.NewAnalysis[string, string, string](taint, prog)
+				if err != nil {
+					return err
+				}
+				init := taint.Initial()
+				cfg := budget.config(5, 1)
+				start := time.Now()
+				var res *core.Result[string, string, string]
+				switch engine {
+				case "td":
+					cfg.K = core.Unlimited
+					res = an.RunTD(init, cfg)
+				case "bu":
+					cfg.Theta = core.Unlimited
+					res = an.RunBU(init, cfg)
+				default:
+					res = an.RunSwift(init, cfg)
+				}
+				r := &taintRun{
+					completed: res.Completed(),
+					cost:      time.Duration(res.WorkUnits()) * costPerWorkUnit,
+					tdSumm:    res.TDSummaryTotal(),
+				}
+				if engine == "swift" && res.Completed() {
+					for _, st := range res.TD.AllStates() {
+						if taint.Alerted(st) {
+							r.alerts = 1
+							break
+						}
+					}
+				}
+				s.telemetry("run %-10s taint/%-6s wall=%-8s cost=%s\n",
+					name, engine, fmtDur(time.Since(start)), fmtDur(r.cost))
+				runs[slot] = r
+				return nil
+			})
 		}
-		cell := func(r *core.Result[string, string, string]) string {
-			if !r.Completed() {
+	}
+	if err := s.forEach(jobs); err != nil {
+		return err
+	}
+	header := []string{"benchmark", "TD cost", "BU cost", "SWIFT cost", "TD summ (td)", "(swift)", "alerts"}
+	var rows [][]string
+	for i, name := range names {
+		td := runs[i*len(engines)]
+		bu := runs[i*len(engines)+1]
+		sw := runs[i*len(engines)+2]
+		s.Release(name)
+		cell := func(r *taintRun) string {
+			if !r.completed {
 				return "DNF"
 			}
-			return fmtDur(r.Elapsed)
+			return fmtDur(r.cost)
 		}
 		tdSumm := "-"
-		if td.Completed() {
-			tdSumm = fmtK(td.TDSummaryTotal())
+		if td.completed {
+			tdSumm = fmtK(td.tdSumm)
 		}
 		rows = append(rows, []string{
 			name, cell(td), cell(bu), cell(sw),
-			tdSumm, fmtK(sw.TDSummaryTotal()),
-			fmt.Sprintf("%d", alerts),
+			tdSumm, fmtK(sw.tdSumm),
+			fmt.Sprintf("%d", sw.alerts),
 		})
-		s.Release(name)
 	}
 	fmt.Fprintln(w, "Generality: the taint client (kill/gen family, Section 5.2) under the")
 	fmt.Fprintln(w, "same three engines (k=5, θ=1).")
@@ -104,43 +135,49 @@ func (s *Suite) TaintTable(w io.Writer, budget Budget) error {
 // installed), so re-ranking tends to evict the dominant case — the
 // one-shot default wins.
 func (s *Suite) AblationTable(w io.Writer, budget Budget) error {
-	header := []string{"benchmark", "one-shot time", "adaptive time", "TD summ one-shot", "adaptive", "recomputed"}
+	names := []string{"toba-s", "javasrc-p", "hedc", "antlr"}
+	modes := []int{0, 4}
+	runs := make([]*EngineRun, len(names)*len(modes))
+	redone := make([]int, len(names)*len(modes))
+	var jobs []func() error
+	for i, name := range names {
+		for j, resummarize := range modes {
+			slot := i*len(modes) + j
+			name, resummarize := name, resummarize
+			jobs = append(jobs, func() error {
+				cfg := budget.config(5, 1)
+				cfg.Resummarize = resummarize
+				run, err := s.RunConfig(name, "swift", cfg)
+				if err != nil {
+					return err
+				}
+				redone[slot] = run.Result.Resummarized
+				run.Result = nil
+				runs[slot] = run
+				return nil
+			})
+		}
+	}
+	if err := s.forEach(jobs); err != nil {
+		return err
+	}
+	header := []string{"benchmark", "one-shot cost", "adaptive cost", "TD summ one-shot", "adaptive", "recomputed"}
 	var rows [][]string
-	for _, name := range []string{"toba-s", "javasrc-p", "hedc", "antlr"} {
-		b, err := s.Build(name)
-		if err != nil {
-			return err
-		}
-		run := func(resummarize int) *EngineRun {
-			cfg := budget.config(5, 1)
-			cfg.Resummarize = resummarize
-			res, _ := b.Run("swift", cfg)
-			return &EngineRun{
-				Benchmark: name, Engine: "swift",
-				Elapsed: res.Elapsed, Completed: res.Completed(),
-				TDSummaries: res.TDSummaryTotal(), BUSummaries: res.BUSummaryTotal(),
-				Result: res,
-			}
-		}
-		oneShot := run(0)
-		adaptive := run(4)
-		redone := 0
-		if adaptive.Result != nil {
-			redone = adaptive.Result.Resummarized
-		}
+	for i, name := range names {
+		oneShot, adaptive := runs[i*len(modes)], runs[i*len(modes)+1]
+		s.Release(name)
 		t1, t2 := "DNF", "DNF"
 		if oneShot.Completed {
-			t1 = fmtDur(oneShot.Elapsed)
+			t1 = fmtDur(oneShot.Cost)
 		}
 		if adaptive.Completed {
-			t2 = fmtDur(adaptive.Elapsed)
+			t2 = fmtDur(adaptive.Cost)
 		}
 		rows = append(rows, []string{
 			name, t1, t2,
 			fmtK(oneShot.TDSummaries), fmtK(adaptive.TDSummaries),
-			fmt.Sprintf("%d", redone),
+			fmt.Sprintf("%d", redone[i*len(modes)+1]),
 		})
-		s.Release(name)
 	}
 	fmt.Fprintln(w, "Ablation: one-shot triggering (Algorithm 1) vs adaptive re-summarization.")
 	table(w, header, rows)
@@ -148,27 +185,38 @@ func (s *Suite) AblationTable(w io.Writer, budget Budget) error {
 }
 
 // KSweep runs the Table 3 experiment on an arbitrary benchmark (the paper
-// uses avrora; smaller members make handy smoke runs).
+// uses avrora; smaller members make handy smoke runs). The per-k runs
+// execute concurrently and are assembled in k order.
 func (s *Suite) KSweep(w io.Writer, name string, ks []int, budget Budget) error {
-	header := []string{"k", "running time", "TD summaries", "triggered"}
+	runs := make([]*EngineRun, len(ks))
+	triggered := make([]int, len(ks))
+	jobs := make([]func() error, len(ks))
+	for i, k := range ks {
+		i, k := i, k
+		jobs[i] = func() error {
+			run, err := s.Run(name, "swift", budget, k, 1)
+			if err != nil {
+				return err
+			}
+			triggered[i] = len(run.Result.Triggered)
+			run.Result = nil
+			runs[i] = run
+			return nil
+		}
+	}
+	if err := s.forEach(jobs); err != nil {
+		return err
+	}
+	s.Release(name)
+	header := []string{"k", "cost", "TD summaries", "triggered"}
 	var rows [][]string
-	for _, k := range ks {
-		run, err := s.Run(name, "swift", budget, k, 1)
-		if err != nil {
-			return err
-		}
-		triggered := 0
-		if run.Result != nil {
-			triggered = len(run.Result.Triggered)
-		}
-		run.Result = nil
-		s.Release(name)
+	for i, k := range ks {
 		t := "DNF"
-		if run.Completed {
-			t = fmtDur(run.Elapsed)
+		if runs[i].Completed {
+			t = fmtDur(runs[i].Cost)
 		}
 		rows = append(rows, []string{
-			fmt.Sprintf("%d", k), t, fmtK(run.TDSummaries), fmt.Sprintf("%d", triggered),
+			fmt.Sprintf("%d", k), t, fmtK(runs[i].TDSummaries), fmt.Sprintf("%d", triggered[i]),
 		})
 	}
 	fmt.Fprintf(w, "k sweep on %s (θ=1).\n", name)
@@ -215,9 +263,9 @@ func (s *Suite) Verify(w io.Writer, budget Budget) error {
 			}
 		}
 		fmt.Fprintf(w, "verify: %-10s ok (swift %s, td %s, bu %s)\n", r.Name,
-			okOrDNF(r.Swift.Completed, r.Swift.Elapsed),
-			okOrDNF(r.TD.Completed, r.TD.Elapsed),
-			okOrDNF(r.BU.Completed, r.BU.Elapsed))
+			okOrDNF(r.Swift.Completed, r.Swift.Cost),
+			okOrDNF(r.TD.Completed, r.TD.Cost),
+			okOrDNF(r.BU.Completed, r.BU.Cost))
 	}
 	fmt.Fprintln(w, "verify: the paper's completion pattern holds")
 	return nil

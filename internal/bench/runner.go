@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism returns the effective worker count for experiment sweeps.
+func (s *Suite) parallelism() int {
+	if s.Parallel > 0 {
+		return s.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach executes the jobs on a bounded worker pool and returns the error
+// of the lowest-indexed failed job (deterministic regardless of
+// scheduling). Every job is attempted even when another fails: experiments
+// fill slot-indexed result slices and render only after forEach returns, so
+// partial early exits would save nothing, and running everything keeps the
+// serial and parallel paths behaviorally identical.
+func (s *Suite) forEach(jobs []func() error) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	workers := s.parallelism()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	errs := make([]error, len(jobs))
+	if workers <= 1 {
+		for i, job := range jobs {
+			errs[i] = job()
+		}
+		return firstError(errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				errs[i] = jobs[i]()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// smallSuite restricts the suite to its three smallest benchmarks so the
+// full parallel-vs-serial comparison stays fast enough for unit tests.
+func smallSuite(parallel int) *Suite {
+	s := NewSuite()
+	var kept []string
+	for _, want := range []string{"jpat-p", "elevator", "toba-s"} {
+		kept = append(kept, want)
+	}
+	profiles := s.Profiles[:0:0]
+	for _, p := range s.Profiles {
+		for _, want := range kept {
+			if p.Name == want {
+				profiles = append(profiles, p)
+			}
+		}
+	}
+	s.Profiles = profiles
+	s.Parallel = parallel
+	return s
+}
+
+// TestParallelTable2ByteIdentical is the harness determinism contract: the
+// same experiment must render byte-identical tables whether runs execute
+// serially or on the worker pool. Run under -race this also exercises the
+// suite cache and result assembly for data races.
+func TestParallelTable2ByteIdentical(t *testing.T) {
+	if len(smallSuite(1).Profiles) != 3 {
+		t.Fatal("small suite does not have 3 benchmarks")
+	}
+	render := func(parallel int) string {
+		s := smallSuite(parallel)
+		var b strings.Builder
+		if err := s.Table2(&b, QuickBudget()); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return b.String()
+	}
+	serial := render(1)
+	for _, parallel := range []int{2, 8} {
+		if got := render(parallel); got != serial {
+			t.Errorf("parallel=%d output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				parallel, serial, got)
+		}
+	}
+	if !strings.Contains(serial, "jpat-p") || !strings.Contains(serial, "toba-s") {
+		t.Errorf("unexpected table contents:\n%s", serial)
+	}
+}
+
+// TestParallelKSweepByteIdentical covers a second experiment shape (per-k
+// jobs on one benchmark) for the same determinism contract.
+func TestParallelKSweepByteIdentical(t *testing.T) {
+	render := func(parallel int) string {
+		s := NewSuite()
+		s.Parallel = parallel
+		var b strings.Builder
+		if err := s.KSweep(&b, "jpat-p", []int{1, 2, 5, 50}, QuickBudget()); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return b.String()
+	}
+	serial := render(1)
+	if got := render(4); got != serial {
+		t.Errorf("parallel k sweep differs from serial:\n%s\nvs\n%s", serial, got)
+	}
+}
+
+// TestSingleFlightBuild hammers the suite cache from many goroutines: each
+// benchmark's program and inspection build must be generated exactly once
+// and every caller must observe the same pointers.
+func TestSingleFlightBuild(t *testing.T) {
+	s := NewSuite()
+	const workers = 16
+	builds := make([]interface{}, workers)
+	progs := make([]interface{}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := s.Build("jpat-p")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p, err := s.Program("jpat-p")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			builds[w], progs[w] = b, p
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if builds[w] != builds[0] {
+			t.Fatalf("worker %d saw a different build", w)
+		}
+		if progs[w] != progs[0] {
+			t.Fatalf("worker %d saw a different program", w)
+		}
+	}
+	if _, err := s.Build("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestForEach covers the pool runner: full coverage of the job list at any
+// parallelism, and deterministic first-error-by-index selection no matter
+// which worker hits an error first.
+func TestForEach(t *testing.T) {
+	for _, parallel := range []int{1, 3, 16} {
+		s := NewSuite()
+		s.Parallel = parallel
+		const n = 50
+		var ran [n]atomic.Int64
+		jobs := make([]func() error, n)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() error {
+				ran[i].Add(1)
+				return nil
+			}
+		}
+		if err := s.forEach(jobs); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("parallel=%d: job %d ran %d times", parallel, i, got)
+			}
+		}
+	}
+
+	errA := errors.New("a")
+	errB := errors.New("b")
+	s := NewSuite()
+	s.Parallel = 8
+	jobs := make([]func() error, 20)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() error {
+			switch i {
+			case 7:
+				return errA
+			case 3:
+				return errB
+			default:
+				return nil
+			}
+		}
+	}
+	// 100 attempts under the race scheduler: the reported error must always
+	// be the lowest-indexed one.
+	for trial := 0; trial < 100; trial++ {
+		if err := s.forEach(jobs); !errors.Is(err, errB) {
+			t.Fatalf("trial %d: err = %v, want %v", trial, err, errB)
+		}
+	}
+}
+
+// TestForEachEmptyAndDefaultParallelism pins the edge cases.
+func TestForEachEmptyAndDefaultParallelism(t *testing.T) {
+	s := NewSuite()
+	if err := s.forEach(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.parallelism(); got < 1 {
+		t.Fatalf("default parallelism = %d", got)
+	}
+	s.Parallel = 3
+	if got := s.parallelism(); got != 3 {
+		t.Fatalf("parallelism = %d, want 3", got)
+	}
+}
+
+// TestTelemetrySeparateFromTables checks the telemetry stream gets per-run
+// wall-clock lines while table output stays free of them.
+func TestTelemetrySeparateFromTables(t *testing.T) {
+	s := NewSuite()
+	s.Parallel = 4
+	var tel strings.Builder
+	s.Telemetry = &tel
+	var out strings.Builder
+	if err := s.KSweep(&out, "jpat-p", []int{1, 5}, QuickBudget()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tel.String(), "wall=") {
+		t.Errorf("telemetry missing wall-clock lines:\n%s", tel.String())
+	}
+	if strings.Contains(out.String(), "wall=") {
+		t.Errorf("table output contains wall-clock telemetry:\n%s", out.String())
+	}
+	for i, line := range strings.Split(strings.TrimSpace(tel.String()), "\n") {
+		if !strings.HasPrefix(line, "run ") {
+			t.Errorf("telemetry line %d malformed: %q", i, line)
+		}
+	}
+	if want := fmt.Sprintf("k sweep on %s", "jpat-p"); !strings.Contains(out.String(), want) {
+		t.Errorf("missing %q in output", want)
+	}
+}

@@ -23,17 +23,18 @@ func (s *Suite) Table1(w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		prog, err := s.Program(p.Name)
+		if err != nil {
+			return err
+		}
 		appClasses, totClasses := map[string]bool{}, map[string]bool{}
 		appMethods, totMethods := 0, 0
 		appLines, totLines := 0, 0
 		appBytes, totBytes := 0, 0
-		prog := s.Program(p.Name)
 		for _, m := range b.Pointer.ReachableMethods() {
 			app := isAppClass(m.Class.Name)
 			totClasses[m.Class.Name] = true
 			totMethods++
-			sub := &hir.Program{}
-			_ = sub
 			lines, bytes := methodSize(prog, m.Class.Name, m.Name)
 			totLines += lines
 			totBytes += bytes
@@ -89,57 +90,76 @@ type Table2Row struct {
 	TD, BU, Swift *EngineRun
 }
 
+// table2Engines is the engine column order of Table 2.
+var table2Engines = []string{"td", "bu", "swift"}
+
 // RunTable2 executes the three engines on every benchmark with the paper's
-// headline thresholds (k=5, θ=1). Only scalar outcomes are retained; the
-// heavyweight per-run state (path-edge maps, interners) is released after
-// each benchmark so the sweep's memory stays flat.
+// headline thresholds (k=5, θ=1). The 36 runs are independent, so they run
+// on the suite's worker pool; results land in slots indexed by (benchmark,
+// engine), which makes the assembled rows — and everything rendered from
+// them — identical to a serial sweep. Only scalar outcomes are retained;
+// the heavyweight per-run state (path-edge maps, interners) is dropped as
+// each run finishes so the sweep's memory stays flat.
 func (s *Suite) RunTable2(budget Budget) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, name := range s.sortedNames() {
-		td, err := s.Run(name, "td", budget, 5, 1)
-		if err != nil {
-			return nil, err
+	names := s.sortedNames()
+	runs := make([]*EngineRun, len(names)*len(table2Engines))
+	var jobs []func() error
+	for i, name := range names {
+		for j, engine := range table2Engines {
+			slot := i*len(table2Engines) + j
+			name, engine := name, engine
+			jobs = append(jobs, func() error {
+				run, err := s.Run(name, engine, budget, 5, 1)
+				if err != nil {
+					return err
+				}
+				run.Result = nil
+				runs[slot] = run
+				return nil
+			})
 		}
-		td.Result = nil
-		bu, err := s.Run(name, "bu", budget, 5, 1)
-		if err != nil {
-			return nil, err
+	}
+	if err := s.forEach(jobs); err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, len(names))
+	for i, name := range names {
+		rows[i] = Table2Row{
+			Name:  name,
+			TD:    runs[i*len(table2Engines)+0],
+			BU:    runs[i*len(table2Engines)+1],
+			Swift: runs[i*len(table2Engines)+2],
 		}
-		bu.Result = nil
-		sw, err := s.Run(name, "swift", budget, 5, 1)
-		if err != nil {
-			return nil, err
-		}
-		sw.Result = nil
 		s.Release(name)
-		rows = append(rows, Table2Row{Name: name, TD: td, BU: bu, Swift: sw})
 	}
 	return rows, nil
 }
 
-// Table2 renders the running-time and summary-count comparison (paper
-// Table 2). DNF marks runs that exhausted the work budget or deadline, the
-// analogue of the paper's timeout/OOM entries.
+// Table2 renders the cost and summary-count comparison (paper Table 2).
+// The time columns show deterministic work-unit cost (see EngineRun.Cost),
+// so the table is identical at any parallelism; DNF marks runs that
+// exhausted the work budget or deadline, the analogue of the paper's
+// timeout/OOM entries.
 func (s *Suite) Table2(w io.Writer, budget Budget) error {
 	rows, err := s.RunTable2(budget)
 	if err != nil {
 		return err
 	}
 	header := []string{"benchmark",
-		"TD time", "BU time", "SWIFT time", "vs TD", "vs BU",
+		"TD cost", "BU cost", "SWIFT cost", "vs TD", "vs BU",
 		"TD summ (td)", "(swift)", "drop",
 		"BU summ (bu)", "(swift)", "drop"}
 	var out [][]string
 	for _, r := range rows {
 		tdTime, buTime, swTime := "DNF", "DNF", "DNF"
 		if r.TD.Completed {
-			tdTime = fmtDur(r.TD.Elapsed)
+			tdTime = fmtDur(r.TD.Cost)
 		}
 		if r.BU.Completed {
-			buTime = fmtDur(r.BU.Elapsed)
+			buTime = fmtDur(r.BU.Cost)
 		}
 		if r.Swift.Completed {
-			swTime = fmtDur(r.Swift.Elapsed)
+			swTime = fmtDur(r.Swift.Cost)
 		}
 		tdDrop, buDrop := "-", "-"
 		tdCount, buCount := "-", "-"
@@ -157,38 +177,50 @@ func (s *Suite) Table2(w io.Writer, budget Budget) error {
 		}
 		out = append(out, []string{
 			r.Name, tdTime, buTime, swTime,
-			fmtSpeedup(r.TD.Elapsed, r.Swift.Elapsed, r.TD.Completed, r.Swift.Completed),
-			fmtSpeedup(r.BU.Elapsed, r.Swift.Elapsed, r.BU.Completed, r.Swift.Completed),
+			fmtSpeedup(r.TD.Cost, r.Swift.Cost, r.TD.Completed, r.Swift.Completed),
+			fmtSpeedup(r.BU.Cost, r.Swift.Cost, r.BU.Completed, r.Swift.Completed),
 			tdCount, fmtK(r.Swift.TDSummaries), tdDrop,
 			buCount, fmtK(r.Swift.BUSummaries), buDrop,
 		})
 	}
-	fmt.Fprintln(w, "Table 2: Running time and number of summaries, SWIFT (k=5, θ=1) vs the")
+	fmt.Fprintln(w, "Table 2: Work cost and number of summaries, SWIFT (k=5, θ=1) vs the")
 	fmt.Fprintln(w, "TD and BU baselines. DNF = work budget or deadline exhausted.")
 	table(w, header, out)
 	return nil
 }
 
 // Table3 renders the k-sweep on the avrora stand-in (paper Table 3):
-// running time and top-down summary count for k ∈ {2,5,10,50,100,200,500},
-// θ=1.
+// cost and top-down summary count for k ∈ {2,5,10,50,100,200,500}, θ=1.
+// The per-k runs execute concurrently (each on its own pipeline) and are
+// assembled in k order.
 func (s *Suite) Table3(w io.Writer, budget Budget) error {
-	header := []string{"k", "running time", "TD summaries"}
+	ks := []int{2, 5, 10, 50, 100, 200, 500}
+	runs := make([]*EngineRun, len(ks))
+	jobs := make([]func() error, len(ks))
+	for i, k := range ks {
+		i, k := i, k
+		jobs[i] = func() error {
+			run, err := s.Run("avrora", "swift", budget, k, 1)
+			if err != nil {
+				return err
+			}
+			run.Result = nil
+			runs[i] = run
+			return nil
+		}
+	}
+	if err := s.forEach(jobs); err != nil {
+		return err
+	}
+	s.Release("avrora")
+	header := []string{"k", "cost", "TD summaries"}
 	var rows [][]string
-	for _, k := range []int{2, 5, 10, 50, 100, 200, 500} {
-		run, err := s.Run("avrora", "swift", budget, k, 1)
-		if err != nil {
-			return err
-		}
-		run.Result = nil
-		// Rebuild between runs: the interning tables otherwise accumulate
-		// the states of every k setting.
-		s.Release("avrora")
+	for i, k := range ks {
 		t := "DNF"
-		if run.Completed {
-			t = fmtDur(run.Elapsed)
+		if runs[i].Completed {
+			t = fmtDur(runs[i].Cost)
 		}
-		rows = append(rows, []string{fmt.Sprintf("%d", k), t, fmtK(run.TDSummaries)})
+		rows = append(rows, []string{fmt.Sprintf("%d", k), t, fmtK(runs[i].TDSummaries)})
 	}
 	fmt.Fprintln(w, "Table 3: Effect of varying k on the avrora stand-in (θ=1).")
 	table(w, header, rows)
@@ -196,31 +228,48 @@ func (s *Suite) Table3(w io.Writer, budget Budget) error {
 }
 
 // Table4 renders the θ comparison (paper Table 4): θ=1 vs θ=2 with k=5 on
-// the ten benchmarks from toba-s up (the paper's selection).
+// the ten benchmarks from toba-s up (the paper's selection). Runs execute
+// concurrently, slotted by (benchmark, θ).
 func (s *Suite) Table4(w io.Writer, budget Budget) error {
-	header := []string{"benchmark", "time θ=1", "time θ=2", "TD summ θ=1", "θ=2"}
-	var rows [][]string
+	var names []string
 	for _, name := range s.sortedNames() {
 		if name == "jpat-p" || name == "elevator" {
 			continue
 		}
-		r1, err := s.Run(name, "swift", budget, 5, 1)
-		if err != nil {
-			return err
+		names = append(names, name)
+	}
+	thetas := []int{1, 2}
+	runs := make([]*EngineRun, len(names)*len(thetas))
+	var jobs []func() error
+	for i, name := range names {
+		for j, theta := range thetas {
+			slot := i*len(thetas) + j
+			name, theta := name, theta
+			jobs = append(jobs, func() error {
+				run, err := s.Run(name, "swift", budget, 5, theta)
+				if err != nil {
+					return err
+				}
+				run.Result = nil
+				runs[slot] = run
+				return nil
+			})
 		}
-		r1.Result = nil
-		r2, err := s.Run(name, "swift", budget, 5, 2)
-		if err != nil {
-			return err
-		}
-		r2.Result = nil
+	}
+	if err := s.forEach(jobs); err != nil {
+		return err
+	}
+	header := []string{"benchmark", "cost θ=1", "cost θ=2", "TD summ θ=1", "θ=2"}
+	var rows [][]string
+	for i, name := range names {
+		r1, r2 := runs[i*len(thetas)], runs[i*len(thetas)+1]
 		s.Release(name)
 		t1, t2 := "DNF", "DNF"
 		if r1.Completed {
-			t1 = fmtDur(r1.Elapsed)
+			t1 = fmtDur(r1.Cost)
 		}
 		if r2.Completed {
-			t2 = fmtDur(r2.Elapsed)
+			t2 = fmtDur(r2.Cost)
 		}
 		rows = append(rows, []string{name, t1, t2, fmtK(r1.TDSummaries), fmtK(r2.TDSummaries)})
 	}
@@ -232,17 +281,32 @@ func (s *Suite) Table4(w io.Writer, budget Budget) error {
 // Figure5 renders the per-method top-down summary counts of TD and SWIFT
 // for the three benchmarks the paper plots (toba-s, javasrc-p, antlr):
 // methods sorted by descending count, one series per engine, printed both
-// as a data listing and an ASCII log-scale sketch.
+// as a data listing and an ASCII log-scale sketch. The six runs execute
+// concurrently; series are extracted during ordered assembly.
 func (s *Suite) Figure5(w io.Writer, budget Budget) error {
-	for _, name := range []string{"toba-s", "javasrc-p", "antlr"} {
-		td, err := s.Run(name, "td", budget, 5, 1)
-		if err != nil {
-			return err
+	names := []string{"toba-s", "javasrc-p", "antlr"}
+	engines := []string{"td", "swift"}
+	runs := make([]*EngineRun, len(names)*len(engines))
+	var jobs []func() error
+	for i, name := range names {
+		for j, engine := range engines {
+			slot := i*len(engines) + j
+			name, engine := name, engine
+			jobs = append(jobs, func() error {
+				run, err := s.Run(name, engine, budget, 5, 1)
+				if err != nil {
+					return err
+				}
+				runs[slot] = run
+				return nil
+			})
 		}
-		sw, err := s.Run(name, "swift", budget, 5, 1)
-		if err != nil {
-			return err
-		}
+	}
+	if err := s.forEach(jobs); err != nil {
+		return err
+	}
+	for i, name := range names {
+		td, sw := runs[i*len(engines)], runs[i*len(engines)+1]
 		fmt.Fprintf(w, "Figure 5 (%s): per-method top-down summaries, methods sorted by count.\n", name)
 		if !td.Completed || !sw.Completed {
 			fmt.Fprintln(w, "  (a run did not finish; series omitted)")

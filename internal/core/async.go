@@ -22,18 +22,31 @@ import (
 // finish, so counters (and therefore summary counts) vary run to run. The
 // final abstract states still coincide with the top-down analysis.
 
-// Synchronized wraps a client with a mutex so the top-down solver (main
-// goroutine) and asynchronous bottom-up runs (worker goroutines) can share
-// its interning tables. The serialization limits the achievable overlap to
-// the solvers' non-client work; the win is latency hiding, not parallel
-// speedup of client operations.
+// Synchronized wraps a client so the top-down solver (main goroutine) and
+// asynchronous bottom-up runs (worker goroutines) can share its interning
+// tables. Locking is read/write-split: operations that only consult
+// already-interned data — Applies, PreHolds, PreImplies, PreOf and
+// Identity — take a read lock and run concurrently across workers, while
+// operations that may intern new states, relations or formulas — Trans,
+// RTrans, RComp, Apply, WPre and Reduce — take the write lock. Applies and
+// the precondition queries dominate the bottom-up solver's inner loops
+// (prune ranks every relation against every sampled state; clean checks
+// every relation against every Sigma member), so the split turns the
+// hottest client traffic into shared-access reads instead of serializing
+// everything behind one mutex.
+//
+// Contract: the wrapped client's Applies, PreHolds, PreImplies, PreOf and
+// Identity must not mutate client state (both in-tree clients satisfy
+// this — they are pure lookups over interned tables). Clients whose read
+// operations memoize internally must do their own locking or be wrapped
+// differently.
 func Synchronized[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](c Client[S, R, P]) Client[S, R, P] {
 	return &lockedClient[S, R, P]{inner: c}
 }
 
-// lockedClient serializes all client calls.
+// lockedClient applies the read/write lock split described at Synchronized.
 type lockedClient[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	inner Client[S, R, P]
 }
 
@@ -44,8 +57,8 @@ func (l *lockedClient[S, R, P]) Trans(c *ir.Prim, s S) []S {
 }
 
 func (l *lockedClient[S, R, P]) Identity() R {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.inner.Identity()
 }
 
@@ -62,8 +75,8 @@ func (l *lockedClient[S, R, P]) RComp(r1, r2 R) []R {
 }
 
 func (l *lockedClient[S, R, P]) Applies(r R, s S) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.inner.Applies(r, s)
 }
 
@@ -74,20 +87,20 @@ func (l *lockedClient[S, R, P]) Apply(r R, s S) []S {
 }
 
 func (l *lockedClient[S, R, P]) PreOf(r R) P {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.inner.PreOf(r)
 }
 
 func (l *lockedClient[S, R, P]) PreHolds(pre P, s S) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.inner.PreHolds(pre, s)
 }
 
 func (l *lockedClient[S, R, P]) PreImplies(p, q P) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.inner.PreImplies(p, q)
 }
 
@@ -97,6 +110,9 @@ func (l *lockedClient[S, R, P]) WPre(r R, post P) []P {
 	return l.inner.WPre(r, post)
 }
 
+// Reduce is grouped with the mutators even though the in-tree clients
+// implement it read-only: its contract allows arbitrary subsumption
+// reasoning, which a client may well memoize.
 func (l *lockedClient[S, R, P]) Reduce(rels []R) []R {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -106,11 +122,33 @@ func (l *lockedClient[S, R, P]) Reduce(rels []R) []R {
 // asyncState carries the shared summary store of an asynchronous hybrid
 // run.
 type asyncState[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
-	mu       sync.Mutex
-	bu       map[string]RSet[R, P]
-	failed   map[string]bool
-	inFlight map[string]bool
-	wg       sync.WaitGroup
+	mu     sync.Mutex
+	bu     map[string]RSet[R, P]
+	failed map[string]bool
+	// busy marks every procedure covered by some in-flight worker's
+	// frontier, not just its trigger: two triggers whose frontiers overlap
+	// would otherwise summarize the shared procedures twice concurrently,
+	// wasting budget and racing on installation order. Non-overlapping
+	// triggers proceed concurrently.
+	busy map[string]bool
+	// pending holds triggers postponed because their frontier overlapped an
+	// in-flight worker or contained a procedure with no top-down incoming
+	// state to rank by; they are retried periodically and drained at the
+	// end of the run.
+	pending map[string]bool
+	// triggered records trigger procedures whose run_bu completed
+	// successfully (completion order; sorted into Result.Triggered).
+	triggered []string
+	// stats accumulates the workers' bottom-up counters.
+	stats BUStats
+	wg    sync.WaitGroup
+}
+
+// add accumulates worker-local counters into an aggregate.
+func (s *BUStats) add(o BUStats) {
+	s.Relations += o.Relations
+	s.Steps += o.Steps
+	s.Rounds += o.Rounds
 }
 
 // snapshotEntrySeen deep-copies the trigger procedure's incoming-state
@@ -134,6 +172,8 @@ type asyncHybrid[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
 	config Config
 	res    *Result[S, R, P]
 	st     *asyncState[S, R, P]
+	// retryTick throttles pending retries; main goroutine only.
+	retryTick int
 }
 
 func (h *asyncHybrid[S, R, P]) beforeCall(callee string, s S) ([]S, bool, error) {
@@ -160,31 +200,66 @@ func (h *asyncHybrid[S, R, P]) afterCall(callee string, s S) error {
 	if h.config.K == Unlimited {
 		return nil
 	}
-	if h.res.TD.EntrySeen[callee].distinct() <= h.config.K {
-		return nil
+	if h.res.TD.EntrySeen[callee].distinct() > h.config.K {
+		h.tryTrigger(callee, false)
 	}
+	// Retry postponed triggers periodically, mirroring the synchronous
+	// hybrid driver: a procedure's calls often arrive in a burst before its
+	// callees have any incoming states to rank by, or while an overlapping
+	// worker is still running.
+	h.retryTick++
+	if h.retryTick&0x3f == 0 {
+		for _, f := range h.pendingSnapshot() {
+			h.tryTrigger(f, false)
+		}
+	}
+	return nil
+}
+
+// pendingSnapshot returns the sorted pending triggers.
+func (h *asyncHybrid[S, R, P]) pendingSnapshot() []string {
+	h.st.mu.Lock()
+	defer h.st.mu.Unlock()
+	return newSortedSet(keysOf(h.st.pending))
+}
+
+// tryTrigger spawns an asynchronous run_bu for callee if it is ready:
+// no summary or failure recorded yet, no in-flight worker covering any
+// frontier procedure, and (unless force is set) every frontier procedure
+// has at least one top-down incoming state to rank by. Not-ready triggers
+// are parked in pending for the periodic retry and the final drain. It
+// reports whether a worker was spawned. Main goroutine only (reads
+// EntrySeen).
+func (h *asyncHybrid[S, R, P]) tryTrigger(callee string, force bool) bool {
 	h.st.mu.Lock()
 	_, done := h.st.bu[callee]
-	busy := h.st.inFlight[callee]
-	failed := h.st.failed[callee]
-	if done || busy || failed {
+	if done || h.st.failed[callee] {
+		delete(h.st.pending, callee)
 		h.st.mu.Unlock()
-		return nil
+		return false
 	}
 	// Collect the frontier under the lock (it reads h.st.bu).
 	frontier := h.frontierLocked(callee)
-	ready := true
 	for _, g := range frontier {
-		if h.res.TD.EntrySeen[g].distinct() == 0 {
-			ready = false
-			break
+		if h.st.busy[g] {
+			h.st.pending[callee] = true
+			h.st.mu.Unlock()
+			return false
 		}
 	}
-	if !ready {
-		h.st.mu.Unlock()
-		return nil // postponed: a later call event retries
+	if !force {
+		for _, g := range frontier {
+			if h.res.TD.EntrySeen[g].distinct() == 0 {
+				h.st.pending[callee] = true
+				h.st.mu.Unlock()
+				return false
+			}
+		}
 	}
-	h.st.inFlight[callee] = true
+	delete(h.st.pending, callee)
+	for _, g := range frontier {
+		h.st.busy[g] = true
+	}
 	preEta := make(map[string]RSet[R, P], len(h.st.bu))
 	for k, v := range h.st.bu {
 		preEta[k] = v
@@ -200,7 +275,10 @@ func (h *asyncHybrid[S, R, P]) afterCall(callee string, s S) error {
 			frontier, preEta, rank, &stats)
 		h.st.mu.Lock()
 		defer h.st.mu.Unlock()
-		h.st.inFlight[callee] = false
+		for _, g := range frontier {
+			delete(h.st.busy, g)
+		}
+		h.st.stats.add(stats)
 		if err != nil {
 			h.st.failed[callee] = true
 			return
@@ -208,8 +286,40 @@ func (h *asyncHybrid[S, R, P]) afterCall(callee string, s S) error {
 		for name, rs := range eta {
 			h.st.bu[name] = rs
 		}
+		h.st.triggered = append(h.st.triggered, callee)
 	}()
-	return nil
+	return true
+}
+
+// drainPending flushes triggers still parked after the top-down worklist
+// emptied — without it, triggers postponed inside the last retry window
+// would be silently dropped and the run would under-summarize. It runs in
+// waves: wait for in-flight workers (their completion clears busy overlaps
+// and may install summaries that shrink other frontiers), retry everything
+// pending, and if nothing could be spawned force the remainder (their
+// unranked frontier procedures were never reached top-down; prune falls
+// back to canonical order without ranking data).
+func (h *asyncHybrid[S, R, P]) drainPending() {
+	for {
+		h.st.wg.Wait()
+		pending := h.pendingSnapshot()
+		if len(pending) == 0 {
+			return
+		}
+		spawned := false
+		for _, f := range pending {
+			if h.tryTrigger(f, false) {
+				spawned = true
+			}
+		}
+		if !spawned {
+			// With no workers in flight, the first forced trigger always
+			// spawns, so every wave makes progress and the loop terminates.
+			for _, f := range h.pendingSnapshot() {
+				h.tryTrigger(f, true)
+			}
+		}
+	}
 }
 
 // frontierLocked is reachableWithoutSummaries against the shared store;
@@ -241,10 +351,12 @@ func (h *asyncHybrid[S, R, P]) frontierLocked(f string) []string {
 
 // RunSwiftAsync runs Algorithm 1 with asynchronous bottom-up triggers: each
 // run_bu executes on its own goroutine while the top-down analysis
-// continues, per the parallelization sketch of the paper's Section 7. The
-// client must be safe for concurrent use — wrap it with Synchronized.
-// Results coincide with RunSwift/RunTD states-wise, but summary-usage
-// counters are timing-dependent.
+// continues, per the parallelization sketch of the paper's Section 7.
+// Workers whose trigger frontiers do not overlap run concurrently with each
+// other as well as with the tabulation. The client must be safe for
+// concurrent use — wrap it with Synchronized. Results coincide with
+// RunSwift/RunTD states-wise, but summary-usage counters are
+// timing-dependent.
 func (a *Analysis[S, R, P]) RunSwiftAsync(initial S, config Config) *Result[S, R, P] {
 	start := time.Now()
 	res := &Result[S, R, P]{
@@ -253,9 +365,10 @@ func (a *Analysis[S, R, P]) RunSwiftAsync(initial S, config Config) *Result[S, R
 		BUFailed: map[string]bool{},
 	}
 	st := &asyncState[S, R, P]{
-		bu:       map[string]RSet[R, P]{},
-		failed:   map[string]bool{},
-		inFlight: map[string]bool{},
+		bu:      map[string]RSet[R, P]{},
+		failed:  map[string]bool{},
+		busy:    map[string]bool{},
+		pending: map[string]bool{},
 	}
 	h := &asyncHybrid[S, R, P]{a: a, config: config, res: res, st: st}
 	t := newTDSolver(a.Client, a.CFG, config, h)
@@ -263,6 +376,9 @@ func (a *Analysis[S, R, P]) RunSwiftAsync(initial S, config Config) *Result[S, R
 	err := t.seed(initial)
 	if err == nil {
 		err = t.run()
+	}
+	if err == nil {
+		h.drainPending()
 	}
 	// Drain in-flight summarizations so the result is stable.
 	st.wg.Wait()
@@ -273,11 +389,9 @@ func (a *Analysis[S, R, P]) RunSwiftAsync(initial S, config Config) *Result[S, R
 	for name := range st.failed {
 		res.BUFailed[name] = true
 	}
+	res.Triggered = newSortedSet(st.triggered)
+	res.BUStats = st.stats
 	st.mu.Unlock()
-	for name := range res.BU {
-		res.Triggered = append(res.Triggered, name)
-	}
-	res.Triggered = newSortedSet(res.Triggered)
 	res.Elapsed = time.Since(start)
 	res.Err = err
 	return res

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"fmt"
 	"sort"
 
 	"swift/internal/ir"
@@ -120,7 +121,9 @@ func runBU[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
 			init := RSet[R, P]{Rels: sortedSet[R]{client.Identity()}}
 			out, err := b.eval(name, b.prog.Procs[name].Body, init)
 			if err != nil {
-				return nil, err
+				// Wrap with the procedure being evaluated; callers match the
+				// budget sentinels with errors.Is.
+				return nil, fmt.Errorf("core: run_bu(%s): %w", name, err)
 			}
 			merged := b.prune(name, b.join(out, b.eta[name]))
 			if !merged.equal(b.eta[name]) {

@@ -4,6 +4,7 @@ package core_test
 // simplest exact Client implementation).
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -119,29 +120,49 @@ func TestBudgetsAbort(t *testing.T) {
 
 	cfg := core.TDConfig()
 	cfg.MaxPathEdges = 3
-	if res := an.RunTD(init, cfg); res.Err != core.ErrBudget {
+	if res := an.RunTD(init, cfg); !errors.Is(res.Err, core.ErrBudget) {
 		t.Errorf("path-edge budget: err = %v", res.Err)
 	}
 	cfg = core.TDConfig()
 	cfg.MaxTDSummaries = 1
-	if res := an.RunTD(init, cfg); res.Err != core.ErrBudget {
+	if res := an.RunTD(init, cfg); !errors.Is(res.Err, core.ErrBudget) {
 		t.Errorf("summary budget: err = %v", res.Err)
 	}
 	cfg = core.BUConfig()
 	cfg.MaxRelations = 2
-	if res := an.RunBU(init, cfg); res.Err != core.ErrBudget {
+	if res := an.RunBU(init, cfg); !errors.Is(res.Err, core.ErrBudget) {
 		t.Errorf("relation budget: err = %v", res.Err)
 	}
 	cfg = core.BUConfig()
 	cfg.MaxBUSteps = 2
-	if res := an.RunBU(init, cfg); res.Err != core.ErrBudget {
+	if res := an.RunBU(init, cfg); !errors.Is(res.Err, core.ErrBudget) {
 		t.Errorf("step budget: err = %v", res.Err)
 	}
 	cfg = core.TDConfig()
 	cfg.Timeout = time.Nanosecond
 	res := an.RunTD(init, cfg)
-	if res.Err != core.ErrDeadline && res.Err != nil {
+	if res.Err != nil && !errors.Is(res.Err, core.ErrDeadline) {
 		t.Errorf("deadline: err = %v", res.Err)
+	}
+}
+
+// TestBudgetErrorsAreWrapped pins the error contract: the bottom-up solver
+// returns budget failures wrapped with context, so drivers and callers must
+// match them with errors.Is rather than direct comparison.
+func TestBudgetErrorsAreWrapped(t *testing.T) {
+	an, taint := newAnalysis(t)
+	init := taint.Initial()
+	cfg := core.BUConfig()
+	cfg.MaxRelations = 2
+	res := an.RunBU(init, cfg)
+	if res.Err == nil {
+		t.Fatal("expected a budget error")
+	}
+	if res.Err == core.ErrBudget {
+		t.Fatal("bottom-up budget error should carry context, not the bare sentinel")
+	}
+	if !errors.Is(res.Err, core.ErrBudget) {
+		t.Fatalf("wrapped error does not match sentinel: %v", res.Err)
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"errors"
 	"fmt"
 	"time"
 
@@ -66,6 +67,20 @@ type Result[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
 
 // Completed reports whether the engine finished within its budgets.
 func (r *Result[S, R, P]) Completed() bool { return r.Err == nil }
+
+// WorkUnits returns a machine-independent cost measure for the run: the sum
+// of the solvers' step and materialization counters. For the deterministic
+// engines (td, bu, swift) it is identical across repeated runs and across
+// hosts, which is what lets the benchmark harness render comparable cost
+// columns regardless of scheduling; wall-clock stays in Elapsed. For
+// swift-async the counters are timing-dependent, so WorkUnits is too.
+func (r *Result[S, R, P]) WorkUnits() int {
+	n := r.BUStats.Steps + r.BUStats.Relations
+	if r.TD != nil {
+		n += r.TD.Steps + r.TD.NumPathEdges
+	}
+	return n
+}
 
 // TDSummaryTotal returns the total number of top-down summaries.
 func (r *Result[S, R, P]) TDSummaryTotal() int {
@@ -176,6 +191,13 @@ func (a *Analysis[S, R, P]) RunSwift(initial S, config Config) *Result[S, R, P] 
 	if err == nil {
 		err = t.run()
 	}
+	if err == nil {
+		// The worklist is empty; flush triggers still postponed in pending
+		// (the periodic retry only fires every 64th call event, so triggers
+		// whose last chance fell inside a retry window gap would otherwise
+		// be dropped and the run would under-summarize).
+		err = h.drainPending()
+	}
 	res.Elapsed = time.Since(start)
 	res.Err = err
 	return res
@@ -259,7 +281,7 @@ func (h *hybrid[S, R, P]) noteFallback(callee string) error {
 		h.a.Client, h.a.Prog, h.config, h.config.Theta,
 		[]string{callee}, h.res.BU, h.res.TD.EntrySeen, &h.res.BUStats,
 	)
-	if err == ErrBudget {
+	if errors.Is(err, ErrBudget) {
 		h.res.BU[callee] = old
 		return nil
 	}
@@ -284,19 +306,52 @@ func (h *hybrid[S, R, P]) afterCall(callee string, s S) error {
 	}
 	if h.res.TD.EntrySeen[callee].distinct() > h.config.K {
 		if _, done := h.res.BU[callee]; !done && !h.res.BUFailed[callee] {
-			if err := h.trigger(callee); err != nil {
+			if err := h.trigger(callee, false); err != nil {
 				return err
 			}
 		}
 	}
 	h.retryTick++
 	if h.retryTick&0x3f == 0 && len(h.pending) > 0 {
+		if err := h.retryPending(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// retryPending re-attempts every postponed trigger once, in sorted order.
+func (h *hybrid[S, R, P]) retryPending() error {
+	for _, f := range newSortedSet(keysOf(h.pending)) {
+		if _, done := h.res.BU[f]; done || h.res.BUFailed[f] {
+			delete(h.pending, f)
+			continue
+		}
+		if err := h.trigger(f, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainPending is the final flush of postponed triggers, run after the
+// top-down worklist empties. Earlier triggers can install summaries that
+// shrink later triggers' frontiers, so it retries in rounds while that
+// makes progress; triggers still postponed then are waiting on procedures
+// the top-down analysis never reached (dead branches of the frontier) and
+// are forced — the pruning operator handles absent ranking data by keeping
+// the first θ relations in canonical order.
+func (h *hybrid[S, R, P]) drainPending() error {
+	for len(h.pending) > 0 {
+		before := len(h.pending)
+		if err := h.retryPending(); err != nil {
+			return err
+		}
+		if len(h.pending) < before {
+			continue
+		}
 		for _, f := range newSortedSet(keysOf(h.pending)) {
-			if _, done := h.res.BU[f]; done || h.res.BUFailed[f] {
-				delete(h.pending, f)
-				continue
-			}
-			if err := h.trigger(f); err != nil {
+			if err := h.trigger(f, true); err != nil {
 				return err
 			}
 		}
@@ -316,13 +371,17 @@ func keysOf(m map[string]bool) []string {
 // refinements (Section 4): procedures that already have summaries are reused
 // rather than recomputed, and triggering is postponed until every procedure
 // to be analyzed has at least one top-down incoming state (otherwise the
-// pruning operator has no data to rank by).
-func (h *hybrid[S, R, P]) trigger(f string) error {
+// pruning operator has no data to rank by). force skips the postpone check;
+// the final drain uses it for frontiers the top-down analysis never
+// completes.
+func (h *hybrid[S, R, P]) trigger(f string, force bool) error {
 	frontier := h.reachableWithoutSummaries(f)
-	for _, g := range frontier {
-		if h.res.TD.EntrySeen[g].distinct() == 0 {
-			h.pending[f] = true // postpone: retried once g has data
-			return nil
+	if !force {
+		for _, g := range frontier {
+			if h.res.TD.EntrySeen[g].distinct() == 0 {
+				h.pending[f] = true // postpone: retried once g has data
+				return nil
+			}
 		}
 	}
 	delete(h.pending, f)
@@ -330,7 +389,7 @@ func (h *hybrid[S, R, P]) trigger(f string) error {
 		h.a.Client, h.a.Prog, h.config, h.config.Theta,
 		frontier, h.res.BU, h.res.TD.EntrySeen, &h.res.BUStats,
 	)
-	if err == ErrBudget {
+	if errors.Is(err, ErrBudget) {
 		// The bottom-up side ran out of budget: fall back to pure top-down
 		// for this trigger procedure and carry on.
 		h.res.BUFailed[f] = true

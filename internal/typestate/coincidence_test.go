@@ -1,6 +1,7 @@
 package typestate
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -165,7 +166,7 @@ func TestCoincidenceRandomPrograms(t *testing.T) {
 		buCfg := budget
 		buCfg.Theta = core.Unlimited
 		bu := an.RunBU(init, buCfg)
-		if bu.Err == core.ErrBudget {
+		if errors.Is(bu.Err, core.ErrBudget) {
 			continue // expected on occasional blow-up programs
 		}
 		if !bu.Completed() {
