@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"errors"
 	"sync"
 	"time"
 
@@ -22,25 +23,46 @@ import (
 // finish, so counters (and therefore summary counts) vary run to run. The
 // final abstract states still coincide with the top-down analysis.
 
-// Synchronized wraps a client so the top-down solver (main goroutine) and
-// asynchronous bottom-up runs (worker goroutines) can share its interning
-// tables. Locking is read/write-split: operations that only consult
-// already-interned data — Applies, PreHolds, PreImplies, PreOf and
-// Identity — take a read lock and run concurrently across workers, while
-// operations that may intern new states, relations or formulas — Trans,
-// RTrans, RComp, Apply, WPre and Reduce — take the write lock. Applies and
-// the precondition queries dominate the bottom-up solver's inner loops
-// (prune ranks every relation against every sampled state; clean checks
-// every relation against every Sigma member), so the split turns the
-// hottest client traffic into shared-access reads instead of serializing
-// everything behind one mutex.
+// ConcurrentClient marks a Client implementation as safe for concurrent
+// use by any number of goroutines without external locking — typically
+// because its interning tables are internally sharded (internal/typestate)
+// or because it keeps no mutable state at all (internal/killgen).
+// Synchronized returns marked clients unchanged, so their operations run
+// lock-free from the engine's point of view and mutating traffic contends
+// only on whatever internal striping the client provides.
+type ConcurrentClient interface {
+	// ConcurrentClient is a marker; implementations assert thread safety.
+	ConcurrentClient()
+}
+
+// Synchronized makes a client safe to share between the top-down solver
+// (main goroutine) and asynchronous bottom-up runs (worker goroutines).
 //
-// Contract: the wrapped client's Applies, PreHolds, PreImplies, PreOf and
-// Identity must not mutate client state (both in-tree clients satisfy
-// this — they are pure lookups over interned tables). Clients whose read
-// operations memoize internally must do their own locking or be wrapped
-// differently.
+// Clients that declare themselves concurrency-safe via the
+// ConcurrentClient marker are returned unchanged: both in-tree clients
+// qualify (typestate's interners are sharded with per-stripe locks;
+// killgen is stateless after construction), so no engine-level lock is
+// taken on any of their operations.
+//
+// Other clients are wrapped with a read/write-split lock: operations that
+// only consult already-interned data — Applies, PreHolds, PreImplies,
+// PreOf and Identity — take a read lock and run concurrently across
+// workers, while operations that may intern new states, relations or
+// formulas — Trans, RTrans, RComp, Apply, WPre and Reduce — take the
+// write lock. Applies and the precondition queries dominate the bottom-up
+// solver's inner loops (prune ranks every relation against every sampled
+// state; clean checks every relation against every Sigma member), so the
+// split turns the hottest client traffic into shared-access reads instead
+// of serializing everything behind one mutex.
+//
+// Contract for wrapped clients: Applies, PreHolds, PreImplies, PreOf and
+// Identity must not mutate client state. Clients whose read operations
+// memoize internally must do their own locking — or do it properly and
+// implement ConcurrentClient.
 func Synchronized[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](c Client[S, R, P]) Client[S, R, P] {
+	if _, ok := any(c).(ConcurrentClient); ok {
+		return c
+	}
 	return &lockedClient[S, R, P]{inner: c}
 }
 
@@ -141,7 +163,11 @@ type asyncState[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
 	triggered []string
 	// stats accumulates the workers' bottom-up counters.
 	stats BUStats
-	wg    sync.WaitGroup
+	// err holds the first non-budget error any worker hit (deadline,
+	// client failure). Once set, no further triggers are spawned and the
+	// run aborts with it, mirroring the synchronous engine.
+	err error
+	wg  sync.WaitGroup
 }
 
 // add accumulates worker-local counters into an aggregate.
@@ -197,6 +223,14 @@ func (h *asyncHybrid[S, R, P]) beforeCall(callee string, s S) ([]S, bool, error)
 
 func (h *asyncHybrid[S, R, P]) afterCall(callee string, s S) error {
 	h.res.CallsViaTD++
+	// Abort the tabulation as soon as a worker has failed: its error is
+	// the run's error, and spawning more triggers would only waste work.
+	h.st.mu.Lock()
+	werr := h.st.err
+	h.st.mu.Unlock()
+	if werr != nil {
+		return werr
+	}
 	if h.config.K == Unlimited {
 		return nil
 	}
@@ -232,6 +266,10 @@ func (h *asyncHybrid[S, R, P]) pendingSnapshot() []string {
 // EntrySeen).
 func (h *asyncHybrid[S, R, P]) tryTrigger(callee string, force bool) bool {
 	h.st.mu.Lock()
+	if h.st.err != nil {
+		h.st.mu.Unlock()
+		return false
+	}
 	_, done := h.st.bu[callee]
 	if done || h.st.failed[callee] {
 		delete(h.st.pending, callee)
@@ -280,7 +318,16 @@ func (h *asyncHybrid[S, R, P]) tryTrigger(callee string, force bool) bool {
 		}
 		h.st.stats.add(stats)
 		if err != nil {
-			h.st.failed[callee] = true
+			// Only a blown budget means "fall back to top-down for this
+			// trigger". Deadlines and genuine client errors must surface as
+			// the run's error (first one wins), exactly as the synchronous
+			// engine aborts — anything else leaves the engines silently
+			// non-comparable.
+			if errors.Is(err, ErrBudget) {
+				h.st.failed[callee] = true
+			} else if h.st.err == nil {
+				h.st.err = err
+			}
 			return
 		}
 		for name, rs := range eta {
@@ -302,6 +349,12 @@ func (h *asyncHybrid[S, R, P]) tryTrigger(callee string, force bool) bool {
 func (h *asyncHybrid[S, R, P]) drainPending() {
 	for {
 		h.st.wg.Wait()
+		h.st.mu.Lock()
+		werr := h.st.err
+		h.st.mu.Unlock()
+		if werr != nil {
+			return // a worker failed; the run aborts with its error
+		}
 		pending := h.pendingSnapshot()
 		if len(pending) == 0 {
 			return
@@ -391,6 +444,9 @@ func (a *Analysis[S, R, P]) RunSwiftAsync(initial S, config Config) *Result[S, R
 	}
 	res.Triggered = newSortedSet(st.triggered)
 	res.BUStats = st.stats
+	if err == nil {
+		err = st.err
+	}
 	st.mu.Unlock()
 	res.Elapsed = time.Since(start)
 	res.Err = err

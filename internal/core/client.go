@@ -140,14 +140,19 @@ type Config struct {
 	// of input-output states per procedure).
 	MaxTDSummaries int
 
-	// MaxRelations bounds the total number of distinct abstract relations
-	// materialized by the bottom-up solver across all procedures. Models
-	// the exponential case explosion of the conventional bottom-up
-	// analysis.
+	// MaxRelations bounds the number of distinct abstract relations
+	// materialized by one bottom-up invocation. Models the exponential
+	// case explosion of the conventional bottom-up analysis. The budget is
+	// per trigger in both hybrid engines — every run_bu (and each async
+	// worker) starts from a fresh counter, and Result.BUStats aggregates
+	// the per-trigger counters afterwards — so RunSwift and RunSwiftAsync
+	// agree on which triggers exhaust it. For RunBU the entire analysis is
+	// one invocation, so the bound is effectively global there.
 	MaxRelations int
 
-	// MaxBUSteps bounds the number of evaluation steps taken by the
-	// bottom-up solver (fixpoint iterations included).
+	// MaxBUSteps bounds the number of evaluation steps taken by one
+	// bottom-up invocation (fixpoint iterations included). Per trigger,
+	// like MaxRelations.
 	MaxBUSteps int
 
 	// Timeout bounds wall-clock time for the whole run; zero means none.

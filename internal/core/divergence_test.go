@@ -1,0 +1,223 @@
+package core_test
+
+// Regression tests pinning RunSwift and RunSwiftAsync to the same
+// observable behaviour: worker errors must surface as Result.Err in both
+// engines, bottom-up budgets are per trigger in both, and Result.Triggered
+// is sorted in both. Each test fails against the pre-fix engines (swallowed
+// async worker errors, cumulative sync budgets, completion-order Triggered).
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"swift/internal/core"
+	"swift/internal/ir"
+	"swift/internal/killgen"
+)
+
+// slowClient delays every bottom-up transfer so a run_bu invocation blows
+// the wall-clock deadline while the top-down analysis (which never calls
+// RTrans) stays fast. It poisons only the workers: the error every engine
+// must surface is the deadline the bottom-up side hits.
+type slowClient struct {
+	core.Client[string, string, string]
+	delay time.Duration
+}
+
+func (s *slowClient) RTrans(c *ir.Prim, r string) []string {
+	time.Sleep(s.delay)
+	return s.Client.RTrans(c, r)
+}
+
+// ConcurrentClient marks the wrapper concurrency-safe: it is stateless and
+// the wrapped taint client is itself concurrent, so Synchronized must not
+// add a lock that would serialize the top-down analysis behind the
+// sleeping workers (which would let the tabulation hit the deadline by
+// itself and mask the bug under test).
+func (s *slowClient) ConcurrentClient() {}
+
+// slowFixture builds a program whose single callee is triggered early and
+// takes ≥256 bottom-up evaluation steps, so the worker's deadline check
+// (which only consults the clock every 256th step) fires mid-run_bu.
+func slowFixture() (*ir.Program, *killgen.Taint) {
+	prog := ir.NewProgram("main")
+	nops := make([]ir.Cmd, 350)
+	for i := range nops {
+		nops[i] = &ir.Prim{Kind: ir.Nop}
+	}
+	prog.Add(&ir.Proc{Name: "slow", Body: &ir.Seq{Cmds: nops}})
+	prog.Add(&ir.Proc{Name: "main", Body: &ir.Seq{Cmds: []ir.Cmd{
+		&ir.Prim{Kind: ir.New, Dst: "t", Site: "src"},
+		&ir.Prim{Kind: ir.New, Dst: "c", Site: "ok"},
+		&ir.Loop{Body: &ir.Choice{Alts: []ir.Cmd{
+			&ir.Prim{Kind: ir.Copy, Dst: "slow$x", Src: "t"},
+			&ir.Prim{Kind: ir.Copy, Dst: "slow$x", Src: "c"},
+		}}},
+		&ir.Call{Callee: "slow"},
+		&ir.Prim{Kind: ir.TSCall, Dst: "slow$x", Method: "emit"},
+	}}})
+	taint := killgen.NewTaint(prog, killgen.TaintConfig{
+		Sources: []string{"src"},
+		Sinks:   []string{"emit"},
+	})
+	return prog, taint
+}
+
+// TestWorkerErrorSurfaces checks that a non-budget error inside run_bu —
+// here the wall-clock deadline — reaches Result.Err in both hybrid
+// engines instead of being downgraded to a silent top-down fallback.
+func TestWorkerErrorSurfaces(t *testing.T) {
+	prog, taint := slowFixture()
+	slow := &slowClient{Client: taint, delay: time.Millisecond}
+	an, err := core.NewAnalysis[string, string, string](
+		core.Synchronized[string, string, string](slow), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := taint.Initial()
+	cfg := core.DefaultConfig()
+	cfg.K = 1
+	cfg.Timeout = 50 * time.Millisecond
+
+	for name, run := range map[string]func() *core.Result[string, string, string]{
+		"swift":       func() *core.Result[string, string, string] { return an.RunSwift(init, cfg) },
+		"swift-async": func() *core.Result[string, string, string] { return an.RunSwiftAsync(init, cfg) },
+	} {
+		res := run()
+		if res.Err == nil {
+			t.Errorf("%s: deadline inside run_bu was swallowed (Triggered=%v BUFailed=%v)",
+				name, res.Triggered, res.BUFailed)
+			continue
+		}
+		if !errors.Is(res.Err, core.ErrDeadline) {
+			t.Errorf("%s: err = %v, want ErrDeadline", name, res.Err)
+		}
+	}
+}
+
+// budgetFixture builds two structurally identical, call-disjoint callees
+// ("zz" is reached first, "aa" second), each triggered under k=1. Because
+// the procedures are identical and independent, each trigger charges
+// exactly half the total relation count of an unlimited run.
+func budgetFixture() (*ir.Program, *killgen.Taint) {
+	prog := ir.NewProgram("main")
+	body := func(p string) ir.Cmd {
+		return &ir.Seq{Cmds: []ir.Cmd{
+			&ir.Choice{Alts: []ir.Cmd{
+				&ir.Prim{Kind: ir.Copy, Dst: p + "$y", Src: p + "$x"},
+				&ir.Prim{Kind: ir.Nop},
+			}},
+			&ir.Prim{Kind: ir.Copy, Dst: p + "$z", Src: p + "$y"},
+		}}
+	}
+	prog.Add(&ir.Proc{Name: "aa", Body: body("aa")})
+	prog.Add(&ir.Proc{Name: "zz", Body: body("zz")})
+	call := func(p string) []ir.Cmd {
+		return []ir.Cmd{
+			&ir.Loop{Body: &ir.Choice{Alts: []ir.Cmd{
+				&ir.Prim{Kind: ir.Copy, Dst: p + "$x", Src: "t"},
+				&ir.Prim{Kind: ir.Copy, Dst: p + "$x", Src: "c"},
+			}}},
+			&ir.Call{Callee: p},
+		}
+	}
+	cmds := []ir.Cmd{
+		&ir.Prim{Kind: ir.New, Dst: "t", Site: "src"},
+		&ir.Prim{Kind: ir.New, Dst: "c", Site: "ok"},
+	}
+	cmds = append(cmds, call("zz")...)
+	cmds = append(cmds, call("aa")...)
+	prog.Add(&ir.Proc{Name: "main", Body: &ir.Seq{Cmds: cmds}})
+	taint := killgen.NewTaint(prog, killgen.TaintConfig{Sources: []string{"src"}})
+	return prog, taint
+}
+
+// TestPerTriggerBudget pins the budget model: MaxRelations bounds each
+// run_bu invocation, so a budget that fits one trigger fits every trigger
+// in both engines. Under the old cumulative accounting the synchronous
+// engine failed the second trigger that the async engine completed.
+func TestPerTriggerBudget(t *testing.T) {
+	prog, taint := budgetFixture()
+	an, err := core.NewAnalysis[string, string, string](
+		core.Synchronized[string, string, string](taint), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := taint.Initial()
+	cfg := core.DefaultConfig()
+	cfg.K = 1
+	// Disable pruning so each trigger's relation count is independent of
+	// ranking data and identical across engines and runs.
+	cfg.Theta = core.Unlimited
+
+	// Calibrate: an unlimited run triggers both procedures; the two are
+	// identical and call-disjoint, so each charged exactly half the total.
+	full := an.RunSwift(init, cfg)
+	if !full.Completed() {
+		t.Fatal(full.Err)
+	}
+	want := []string{"aa", "zz"}
+	if len(full.Triggered) != 2 || full.Triggered[0] != want[0] || full.Triggered[1] != want[1] {
+		t.Fatalf("calibration run triggered %v, want %v", full.Triggered, want)
+	}
+	perTrigger := full.BUStats.Relations / 2
+
+	cfg.MaxRelations = perTrigger
+	for name, run := range map[string]func() *core.Result[string, string, string]{
+		"swift":       func() *core.Result[string, string, string] { return an.RunSwift(init, cfg) },
+		"swift-async": func() *core.Result[string, string, string] { return an.RunSwiftAsync(init, cfg) },
+	} {
+		res := run()
+		if !res.Completed() {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		if len(res.BUFailed) != 0 {
+			t.Errorf("%s: triggers failed under a per-trigger budget that fits each: %v",
+				name, res.BUFailed)
+		}
+		if len(res.Triggered) != 2 || res.Triggered[0] != want[0] || res.Triggered[1] != want[1] {
+			t.Errorf("%s: Triggered = %v, want %v", name, res.Triggered, want)
+		}
+		if res.BUStats.Relations != full.BUStats.Relations {
+			t.Errorf("%s: aggregated relations = %d, want %d",
+				name, res.BUStats.Relations, full.BUStats.Relations)
+		}
+	}
+}
+
+// TestTriggeredSorted pins the Result.Triggered contract: sorted in both
+// engines, regardless of completion order ("zz" completes first here).
+func TestTriggeredSorted(t *testing.T) {
+	prog, taint := budgetFixture()
+	an, err := core.NewAnalysis[string, string, string](
+		core.Synchronized[string, string, string](taint), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := taint.Initial()
+	cfg := core.DefaultConfig()
+	cfg.K = 1
+	sync := an.RunSwift(init, cfg)
+	async := an.RunSwiftAsync(init, cfg)
+	for name, res := range map[string]*core.Result[string, string, string]{
+		"swift": sync, "swift-async": async,
+	} {
+		if !res.Completed() {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		for i := 1; i < len(res.Triggered); i++ {
+			if res.Triggered[i-1] >= res.Triggered[i] {
+				t.Errorf("%s: Triggered not sorted: %v", name, res.Triggered)
+			}
+		}
+	}
+	if len(sync.Triggered) != len(async.Triggered) {
+		t.Fatalf("engines disagree on triggers: %v vs %v", sync.Triggered, async.Triggered)
+	}
+	for i := range sync.Triggered {
+		if sync.Triggered[i] != async.Triggered[i] {
+			t.Fatalf("engines disagree on triggers: %v vs %v", sync.Triggered, async.Triggered)
+		}
+	}
+}

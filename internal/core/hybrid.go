@@ -43,7 +43,9 @@ type Result[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
 	// BUFailed marks procedures whose bottom-up analysis hit its budget in
 	// hybrid mode (the driver falls back to top-down for them).
 	BUFailed map[string]bool
-	// Triggered lists procedures for which run_bu was invoked, in order.
+	// Triggered lists the trigger procedures whose run_bu completed
+	// successfully, sorted and deduplicated. Both hybrid engines produce
+	// it in this form, so table code can diff the field across engines.
 	Triggered []string
 	// BUStats aggregates bottom-up work counters.
 	BUStats BUStats
@@ -198,6 +200,7 @@ func (a *Analysis[S, R, P]) RunSwift(initial S, config Config) *Result[S, R, P] 
 		// be dropped and the run would under-summarize).
 		err = h.drainPending()
 	}
+	res.Triggered = newSortedSet(res.Triggered)
 	res.Elapsed = time.Since(start)
 	res.Err = err
 	return res
@@ -277,10 +280,12 @@ func (h *hybrid[S, R, P]) noteFallback(callee string) error {
 	w.limit *= 4
 	old := h.res.BU[callee]
 	delete(h.res.BU, callee)
+	var stats BUStats
 	eta, err := runBU(
 		h.a.Client, h.a.Prog, h.config, h.config.Theta,
-		[]string{callee}, h.res.BU, h.res.TD.EntrySeen, &h.res.BUStats,
+		[]string{callee}, h.res.BU, h.res.TD.EntrySeen, &stats,
 	)
+	h.res.BUStats.add(stats)
 	if errors.Is(err, ErrBudget) {
 		h.res.BU[callee] = old
 		return nil
@@ -385,10 +390,16 @@ func (h *hybrid[S, R, P]) trigger(f string, force bool) error {
 		}
 	}
 	delete(h.pending, f)
+	// Each trigger gets the full MaxRelations/MaxBUSteps budget from the
+	// config (worker-local counters, aggregated after), matching the async
+	// engine's per-worker accounting — a cumulative charge here would make
+	// the two engines disagree on which trigger DNFs.
+	var stats BUStats
 	eta, err := runBU(
 		h.a.Client, h.a.Prog, h.config, h.config.Theta,
-		frontier, h.res.BU, h.res.TD.EntrySeen, &h.res.BUStats,
+		frontier, h.res.BU, h.res.TD.EntrySeen, &stats,
 	)
+	h.res.BUStats.add(stats)
 	if errors.Is(err, ErrBudget) {
 		// The bottom-up side ran out of budget: fall back to pure top-down
 		// for this trigger procedure and carry on.

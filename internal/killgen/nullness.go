@@ -39,10 +39,12 @@ func nnFieldFact(f string) string { return "nnfield:" + f }
 func NewNullness(prog *ir.Program) *Nullness {
 	vars := map[string]bool{}
 	fields := map[string]bool{}
+	var prims []*ir.Prim
 	var walk func(c ir.Cmd)
 	walk = func(c ir.Cmd) {
 		switch c := c.(type) {
 		case *ir.Prim:
+			prims = append(prims, c)
 			if c.Dst != "" {
 				vars[c.Dst] = true
 			}
@@ -78,14 +80,23 @@ func NewNullness(prog *ir.Program) *Nullness {
 	facts = append(facts, nullAlertFact)
 	n := &Nullness{Analysis: NewAnalysis(facts), memo: map[string][]Case{}}
 	n.SetSpec(n.cases)
+	// Freeze the memo before the client can be shared across goroutines
+	// (the ConcurrentClient contract), as in NewTaint.
+	for _, p := range prims {
+		n.memo[p.Key()] = n.casesOf(p)
+	}
 	return n
 }
 
+// cases is the Spec; see Taint.cases for the read-only memo contract.
 func (n *Nullness) cases(c *ir.Prim) []Case {
-	key := c.Key()
-	if cs, ok := n.memo[key]; ok {
+	if cs, ok := n.memo[c.Key()]; ok {
 		return cs
 	}
+	return n.casesOf(c)
+}
+
+func (n *Nullness) casesOf(c *ir.Prim) []Case {
 	var out []Case
 	switch c.Kind {
 	case ir.New:
@@ -119,7 +130,6 @@ func (n *Nullness) cases(c *ir.Prim) []Case {
 	default:
 		out = []Case{n.IdentityCase()}
 	}
-	n.memo[key] = out
 	return out
 }
 

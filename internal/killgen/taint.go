@@ -47,10 +47,12 @@ func fieldFact(f string) string { return "field:" + f }
 func NewTaint(prog *ir.Program, cfg TaintConfig) *Taint {
 	vars := map[string]bool{}
 	fields := map[string]bool{}
+	var prims []*ir.Prim
 	var walk func(c ir.Cmd)
 	walk = func(c ir.Cmd) {
 		switch c := c.(type) {
 		case *ir.Prim:
+			prims = append(prims, c)
 			if c.Dst != "" {
 				vars[c.Dst] = true
 			}
@@ -103,15 +105,28 @@ func NewTaint(prog *ir.Program, cfg TaintConfig) *Taint {
 		t.source[s] = true
 	}
 	t.SetSpec(t.cases)
+	// Precompute the case table for every primitive in the program so the
+	// memo is frozen before the client is shared across goroutines (the
+	// ConcurrentClient contract); cases never writes it at runtime.
+	for _, p := range prims {
+		t.memo[p.Key()] = t.casesOf(p)
+	}
 	return t
 }
 
-// cases is the Spec: the guarded kill/gen cases of each primitive.
+// cases is the Spec: the guarded kill/gen cases of each primitive. Every
+// primitive of the analyzed program is precomputed into the memo by
+// NewTaint; primitives outside it (synthetic test commands) are computed
+// fresh on each call rather than stored, keeping the method read-only.
 func (t *Taint) cases(c *ir.Prim) []Case {
-	key := c.Key()
-	if cs, ok := t.memo[key]; ok {
+	if cs, ok := t.memo[c.Key()]; ok {
 		return cs
 	}
+	return t.casesOf(c)
+}
+
+// casesOf computes the guarded kill/gen cases of one primitive.
+func (t *Taint) casesOf(c *ir.Prim) []Case {
 	var out []Case
 	switch c.Kind {
 	case ir.Nop, ir.Assert:
@@ -147,7 +162,6 @@ func (t *Taint) cases(c *ir.Prim) []Case {
 	default:
 		out = []Case{t.IdentityCase()}
 	}
-	t.memo[key] = out
 	return out
 }
 

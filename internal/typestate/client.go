@@ -22,8 +22,10 @@ type OracleFunc func(base, field, site string) bool
 func (f OracleFunc) MayAlias(base, field, site string) bool { return f(base, field, site) }
 
 // Analysis is the type-state instantiation of the SWIFT framework for one
-// program: it implements core.Client[AbsID, RelID, FormulaID]. An Analysis
-// is not safe for concurrent use (it owns mutable interning tables).
+// program: it implements core.Client[AbsID, RelID, FormulaID]. Once
+// NewAnalysis returns, an Analysis is safe for concurrent use: all mutable
+// state lives in the sharded interners of shard.go, so concurrent client
+// calls contend only on hash-selected lock stripes.
 type Analysis struct {
 	tab      *tables
 	prog     *ir.Program
@@ -32,10 +34,13 @@ type Analysis struct {
 	emptySet SetID
 
 	// relation interning
-	relIDs map[rel]RelID
-	rels   []rel
-	idRel  RelID
+	rels  *interner[rel, rel]
+	idRel RelID
 }
+
+// ConcurrentClient marks the analysis as safe for concurrent use, so
+// core.Synchronized leaves it unwrapped. See shard.go for the argument.
+func (a *Analysis) ConcurrentClient() {}
 
 // NewAnalysis prepares a type-state analysis of prog. track maps allocation
 // site labels to the property governing objects allocated there; sites
@@ -55,18 +60,18 @@ func NewAnalysis(prog *ir.Program, track map[string]*Property, oracle Oracle) (*
 		prog:  prog,
 		track: track,
 		tab: &tables{
-			pathIDs:     map[path]PathID{},
+			paths:       newInterner[path, path](hashPath),
 			rootedOf:    map[string][]PathID{},
 			fieldOf:     map[string][]PathID{},
-			setIDs:      map[string]SetID{},
+			sets:        newInterner[string, []PathID](hashString),
 			siteIDs:     map[string]SiteID{},
-			transIDs:    map[string]TransID{},
-			methodTrans: map[string]TransID{},
-			composeMemo: map[[2]TransID]TransID{},
-			absIDs:      map[absState]AbsID{},
-			formIDs:     map[string]FormulaID{},
+			trans:       newInterner[string, []GState](hashString),
+			methodTrans: newMemoMap[string, TransID](hashString),
+			composeMemo: newMemoMap[[2]TransID, TransID](hashTransPair),
+			abs:         newInterner[absState, absState](hashAbs),
+			forms:       newInterner[string, []literal](hashString),
 		},
-		relIDs: map[rel]RelID{},
+		rels: newInterner[rel, rel](hashRel),
 	}
 	t := a.tab
 	a.buildProperties()
@@ -81,7 +86,7 @@ func NewAnalysis(prog *ir.Program, track map[string]*Property, oracle Oracle) (*
 	// irrelevant variables neither splits relational cases nor fragments
 	// abstract states.
 	var all []PathID
-	for i := range t.paths {
+	for i := 0; i < t.numPaths(); i++ {
 		if t.relevant[i] {
 			all = append(all, PathID(i))
 		}
@@ -218,7 +223,8 @@ func (a *Analysis) buildUniverse() {
 
 	// rootedOf and fieldOf indexes (path IDs are already in sorted order of
 	// interning, but collect then sort to be safe).
-	for id, p := range t.paths {
+	for id := 0; id < t.numPaths(); id++ {
+		p := t.pathAt(PathID(id))
 		t.rootedOf[p.base] = append(t.rootedOf[p.base], PathID(id))
 		if p.field != "" {
 			t.fieldOf[p.field] = append(t.fieldOf[p.field], PathID(id))
@@ -256,9 +262,10 @@ func (a *Analysis) buildUniverse() {
 // universes. The bootstrap site aliases nothing.
 func (a *Analysis) buildOracle(oracle Oracle) {
 	t := a.tab
-	t.mayAlias = make([][]bool, len(t.paths))
-	t.relevant = make([]bool, len(t.paths))
-	for pid, p := range t.paths {
+	t.mayAlias = make([][]bool, t.numPaths())
+	t.relevant = make([]bool, t.numPaths())
+	for pid := 0; pid < t.numPaths(); pid++ {
+		p := t.pathAt(PathID(pid))
 		row := make([]bool, len(t.sites))
 		for sid := 1; sid < len(t.sites); sid++ {
 			if oracle == nil {
@@ -288,11 +295,11 @@ func filterRelevant(t *tables, ids []PathID) []PathID {
 // mustPath returns the PathID of a path that is guaranteed to be in the
 // universe (it appears in the program text being analyzed).
 func (a *Analysis) mustPath(base, field string) PathID {
-	id, ok := a.tab.pathIDs[path{base: base, field: field}]
+	id, ok := a.tab.paths.lookup(path{base: base, field: field})
 	if !ok {
 		panic(fmt.Sprintf("typestate: path %s.%s not in universe", base, field))
 	}
-	return id
+	return PathID(id)
 }
 
 // InitialState returns the bootstrap abstract state (no tracked object).
@@ -334,11 +341,11 @@ func (a *Analysis) MakeState(site, state string, must, mustNot []string) (AbsID,
 					break
 				}
 			}
-			id, ok := t.pathIDs[path{base: base, field: field}]
+			id, ok := t.paths.lookup(path{base: base, field: field})
 			if !ok {
 				return 0, fmt.Errorf("typestate: path %q not in program universe", s)
 			}
-			ids = append(ids, id)
+			ids = append(ids, PathID(id))
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		return t.internSet(ids), nil
@@ -435,13 +442,13 @@ func (a *Analysis) PreImplies(p, q FormulaID) bool { return a.tab.implies(p, q) 
 func (a *Analysis) Identity() RelID { return a.idRel }
 
 // PathCount and SiteCount expose universe sizes for reporting.
-func (a *Analysis) PathCount() int { return len(a.tab.paths) }
+func (a *Analysis) PathCount() int { return a.tab.numPaths() }
 
 // SiteCount returns the number of allocation sites including "<none>".
 func (a *Analysis) SiteCount() int { return len(a.tab.sites) }
 
 // StateCount returns how many distinct abstract states have been interned.
-func (a *Analysis) StateCount() int { return len(a.tab.abs) }
+func (a *Analysis) StateCount() int { return a.tab.abs.size() }
 
 // RelCount returns how many distinct abstract relations have been interned.
-func (a *Analysis) RelCount() int { return len(a.rels) }
+func (a *Analysis) RelCount() int { return a.rels.size() }

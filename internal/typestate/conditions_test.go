@@ -75,7 +75,7 @@ func randomState(rng *rand.Rand, ts *Analysis) AbsID {
 	h := SiteID(rng.Intn(len(t.sites)))
 	g := GState(rng.Intn(t.numG))
 	var aset, nset []PathID
-	for p := range t.paths {
+	for p := 0; p < t.numPaths(); p++ {
 		if rng.Intn(4) == 0 {
 			aset = append(aset, PathID(p))
 		}

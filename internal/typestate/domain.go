@@ -12,7 +12,13 @@ import (
 // Everything is interned to dense integer IDs so the framework's sets and
 // maps operate on ordered integers, and so equality is O(1).
 //
-// A tables value is not safe for concurrent use; each Analysis owns one.
+// The runtime-mutated tables (path sets, transformers, abstract states,
+// formulas) are backed by the sharded interners of shard.go, so a tables
+// value IS safe for concurrent use once construction (NewAnalysis) has
+// finished: interning new values only contends on one hash-selected lock
+// stripe, and ID→value reads never lock. The construction-only tables
+// (paths, sites, properties, the may-alias matrix, the rooted/field
+// indexes) are frozen by NewAnalysis and read-only afterwards.
 
 // PathID identifies an access path: a variable v or a one-field path v.f.
 type PathID int32
@@ -91,27 +97,28 @@ type absState struct {
 // inMustNot reports p ∈ n for a state.
 func (t *tables) inMustNot(s absState, p PathID) bool { return !t.setHas(s.nc, p) }
 
-// tables owns every interning table of one analysis instance.
+// tables owns every interning table of one analysis instance. The four
+// runtime-hot tables (sets, trans, abs, forms) and the two transformer
+// memos are sharded for concurrent use; everything else is populated by
+// NewAnalysis and immutable afterwards.
 type tables struct {
-	// paths
-	pathIDs  map[path]PathID
-	paths    []path
+	// paths (interned during construction only; lookups at runtime)
+	paths    *interner[path, path]
 	rootedOf map[string][]PathID // variable → sorted paths rooted at it
 	fieldOf  map[string][]PathID // field → sorted paths carrying it
 
-	// path sets
-	setIDs map[string]SetID
-	sets   [][]PathID
+	// path sets, keyed by the canonical i32key encoding
+	sets *interner[string, []PathID]
 	// univSet is the set of all paths; it is the nc component of states
 	// with an empty must-not set.
 	univSet SetID
 
-	// sites
+	// sites (construction-only)
 	siteIDs    map[string]SiteID
 	sites      []string
 	sitePropOf []int // property index per site, -1 if untracked
 
-	// properties and global states
+	// properties and global states (construction-only)
 	props    []*Property
 	propBase []GState // first global state of each property
 	numG     int
@@ -119,21 +126,18 @@ type tables struct {
 	localOfG []State
 	isErrorG []bool
 
-	// transformers
-	transIDs    map[string]TransID
-	trans       [][]GState
+	// transformers, keyed by the canonical i32key encoding of the vector
+	trans       *interner[string, []GState]
 	idTrans     TransID
 	errTrans    TransID // per-property error; None stays None
-	methodTrans map[string]TransID
-	composeMemo map[[2]TransID]TransID
+	methodTrans *memoMap[string, TransID]
+	composeMemo *memoMap[[2]TransID, TransID]
 
 	// abstract states
-	absIDs map[absState]AbsID
-	abs    []absState
+	abs *interner[absState, absState]
 
-	// formulas (sorted literal conjunctions)
-	formIDs map[string]FormulaID
-	forms   [][]literal
+	// formulas (sorted literal conjunctions, keyed by i32key encoding)
+	forms *interner[string, []literal]
 
 	// may-alias oracle matrix: mayAlias[p][h]
 	mayAlias [][]bool
@@ -157,36 +161,30 @@ func i32key[T ~int32](xs []T) string {
 // ---- paths ----
 
 func (t *tables) internPath(p path) PathID {
-	if id, ok := t.pathIDs[p]; ok {
-		return id
-	}
-	id := PathID(len(t.paths))
-	t.pathIDs[p] = id
-	t.paths = append(t.paths, p)
-	return id
+	return PathID(t.paths.intern(p, func() path { return p }))
 }
 
-func (t *tables) pathString(p PathID) string { return t.paths[p].String() }
+func (t *tables) pathAt(id PathID) path { return t.paths.at(int32(id)) }
+
+func (t *tables) numPaths() int { return t.paths.size() }
+
+func (t *tables) pathString(p PathID) string { return t.pathAt(p).String() }
 
 // ---- path sets ----
 
 func (t *tables) internSet(sorted []PathID) SetID {
 	key := i32key(sorted)
-	if id, ok := t.setIDs[key]; ok {
-		return id
-	}
-	id := SetID(len(t.sets))
-	cp := make([]PathID, len(sorted))
-	copy(cp, sorted)
-	t.setIDs[key] = id
-	t.sets = append(t.sets, cp)
-	return id
+	return SetID(t.sets.intern(key, func() []PathID {
+		cp := make([]PathID, len(sorted))
+		copy(cp, sorted)
+		return cp
+	}))
 }
 
-func (t *tables) setElems(s SetID) []PathID { return t.sets[s] }
+func (t *tables) setElems(s SetID) []PathID { return t.sets.at(int32(s)) }
 
 func (t *tables) setHas(s SetID, p PathID) bool {
-	elems := t.sets[s]
+	elems := t.setElems(s)
 	lo, hi := 0, len(elems)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -203,7 +201,7 @@ func (t *tables) setInsert(s SetID, p PathID) SetID {
 	if t.setHas(s, p) {
 		return s
 	}
-	elems := t.sets[s]
+	elems := t.setElems(s)
 	out := make([]PathID, 0, len(elems)+1)
 	done := false
 	for _, e := range elems {
@@ -224,7 +222,7 @@ func (t *tables) setMinus(s SetID, rm []PathID) SetID {
 	if len(rm) == 0 {
 		return s
 	}
-	elems := t.sets[s]
+	elems := t.setElems(s)
 	out := make([]PathID, 0, len(elems))
 	i := 0
 	for _, e := range elems {
@@ -246,7 +244,7 @@ func (t *tables) setUnion(a, b SetID) SetID {
 	if a == b {
 		return a
 	}
-	ea, eb := t.sets[a], t.sets[b]
+	ea, eb := t.setElems(a), t.setElems(b)
 	if len(ea) == 0 {
 		return b
 	}
@@ -285,7 +283,7 @@ func (t *tables) setIntersect(a, b SetID) SetID {
 	if a == b {
 		return a
 	}
-	ea, eb := t.sets[a], t.sets[b]
+	ea, eb := t.setElems(a), t.setElems(b)
 	out := make([]PathID, 0, min(len(ea), len(eb)))
 	i, j := 0, 0
 	for i < len(ea) && j < len(eb) {
@@ -392,20 +390,15 @@ func (t *tables) internSite(name string, propIdx int) SiteID {
 // ---- transformers ----
 
 func (t *tables) internTrans(vec []GState) TransID {
-	key := i32key(vec)
-	if id, ok := t.transIDs[key]; ok {
-		return id
-	}
-	id := TransID(len(t.trans))
-	cp := make([]GState, len(vec))
-	copy(cp, vec)
-	t.transIDs[key] = id
-	t.trans = append(t.trans, cp)
-	return id
+	return TransID(t.trans.intern(i32key(vec), func() []GState {
+		cp := make([]GState, len(vec))
+		copy(cp, vec)
+		return cp
+	}))
 }
 
 // applyTrans applies transformer ι to a global state.
-func (t *tables) applyTrans(id TransID, g GState) GState { return t.trans[id][g] }
+func (t *tables) applyTrans(id TransID, g GState) GState { return t.trans.at(int32(id))[g] }
 
 // compose returns after ∘ before (first before, then after), memoized.
 func (t *tables) compose(after, before TransID) TransID {
@@ -416,16 +409,16 @@ func (t *tables) compose(after, before TransID) TransID {
 		return before
 	}
 	key := [2]TransID{after, before}
-	if id, ok := t.composeMemo[key]; ok {
+	if id, ok := t.composeMemo.get(key); ok {
 		return id
 	}
-	av, bv := t.trans[after], t.trans[before]
+	av, bv := t.trans.at(int32(after)), t.trans.at(int32(before))
 	out := make([]GState, len(bv))
 	for i, mid := range bv {
 		out[i] = av[mid]
 	}
 	id := t.internTrans(out)
-	t.composeMemo[key] = id
+	t.composeMemo.put(key, id)
 	return id
 }
 
@@ -433,7 +426,7 @@ func (t *tables) compose(after, before TransID) TransID {
 // property that defines m it follows the property's table; on every other
 // state (including None) it is the identity.
 func (t *tables) methodTransformer(m string) TransID {
-	if id, ok := t.methodTrans[m]; ok {
+	if id, ok := t.methodTrans.get(m); ok {
 		return id
 	}
 	vec := make([]GState, t.numG)
@@ -448,39 +441,31 @@ func (t *tables) methodTransformer(m string) TransID {
 		}
 	}
 	id := t.internTrans(vec)
-	t.methodTrans[m] = id
+	t.methodTrans.put(m, id)
 	return id
 }
 
 // ---- abstract states ----
 
 func (t *tables) internAbs(s absState) AbsID {
-	if id, ok := t.absIDs[s]; ok {
-		return id
-	}
-	id := AbsID(len(t.abs))
-	t.absIDs[s] = id
-	t.abs = append(t.abs, s)
-	return id
+	return AbsID(t.abs.intern(s, func() absState { return s }))
 }
 
-func (t *tables) absOf(id AbsID) absState { return t.abs[id] }
+func (t *tables) absOf(id AbsID) absState { return t.abs.at(int32(id)) }
 
 // ---- formulas ----
 
 // internFormula interns a sorted, duplicate-free literal conjunction.
 func (t *tables) internFormula(sorted []literal) FormulaID {
-	key := i32key(sorted)
-	if id, ok := t.formIDs[key]; ok {
-		return id
-	}
-	id := FormulaID(len(t.forms))
-	cp := make([]literal, len(sorted))
-	copy(cp, sorted)
-	t.formIDs[key] = id
-	t.forms = append(t.forms, cp)
-	return id
+	return FormulaID(t.forms.intern(i32key(sorted), func() []literal {
+		cp := make([]literal, len(sorted))
+		copy(cp, sorted)
+		return cp
+	}))
 }
+
+// formLits returns the literal conjunction interned under f.
+func (t *tables) formLits(f FormulaID) []literal { return t.forms.at(int32(f)) }
 
 // conj conjoins extra literals onto a formula, reporting ok=false when the
 // result is contradictory (p ∈ a ∧ p ∉ a, etc.).
@@ -488,7 +473,7 @@ func (t *tables) conj(f FormulaID, extra ...literal) (FormulaID, bool) {
 	if len(extra) == 0 {
 		return f, true
 	}
-	lits := t.forms[f]
+	lits := t.formLits(f)
 	out := make([]literal, len(lits), len(lits)+len(extra))
 	copy(out, lits)
 	for _, l := range extra {
@@ -520,14 +505,14 @@ func (t *tables) conjFormulas(f, g FormulaID) (FormulaID, bool) {
 	if f == g {
 		return f, true
 	}
-	return t.conj(f, t.forms[g]...)
+	return t.conj(f, t.formLits(g)...)
 }
 
 // implies reports whether formula p entails formula q: every literal of q
 // occurs in p (sound and complete for conjunctions over independent
 // literals).
 func (t *tables) implies(p, q FormulaID) bool {
-	lp, lq := t.forms[p], t.forms[q]
+	lp, lq := t.formLits(p), t.formLits(q)
 	i := 0
 	for _, l := range lq {
 		for i < len(lp) && lp[i] < l {
@@ -542,7 +527,7 @@ func (t *tables) implies(p, q FormulaID) bool {
 
 // holds evaluates a formula on an abstract state.
 func (t *tables) holds(f FormulaID, s absState) bool {
-	for _, l := range t.forms[f] {
+	for _, l := range t.formLits(f) {
 		p := l.path()
 		var v bool
 		switch l.kind() {
@@ -568,7 +553,7 @@ func (t *tables) holds(f FormulaID, s absState) bool {
 
 // formulaString renders a formula for diagnostics.
 func (t *tables) formulaString(f FormulaID) string {
-	lits := t.forms[f]
+	lits := t.formLits(f)
 	if len(lits) == 0 {
 		return "true"
 	}

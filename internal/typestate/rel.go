@@ -54,28 +54,22 @@ func (a *Analysis) internRel(r rel) RelID {
 			r.nK = t.coMinus(r.nK, g)
 		}
 	}
-	if id, ok := a.relIDs[r]; ok {
-		return id
-	}
-	id := RelID(len(a.rels))
-	a.relIDs[r] = id
-	a.rels = append(a.rels, r)
-	return id
+	return RelID(a.rels.intern(r, func() rel { return r }))
 }
 
-func (a *Analysis) relOf(id RelID) rel { return a.rels[id] }
+func (a *Analysis) relOf(id RelID) rel { return a.rels.at(int32(id)) }
 
 // Applies implements core.Client: s ∈ dom(r) iff s satisfies the
 // precondition.
 func (a *Analysis) Applies(r RelID, s AbsID) bool {
-	return a.tab.holds(a.rels[r].pre, a.tab.absOf(s))
+	return a.tab.holds(a.relOf(r).pre, a.tab.absOf(s))
 }
 
 // Apply implements core.Client: relations are functional, so the result is
 // a single state.
 func (a *Analysis) Apply(r RelID, s AbsID) []AbsID {
 	t := a.tab
-	rr := a.rels[r]
+	rr := a.relOf(r)
 	if rr.kind == kConst {
 		return []AbsID{rr.out}
 	}
@@ -90,12 +84,12 @@ func (a *Analysis) Apply(r RelID, s AbsID) []AbsID {
 }
 
 // PreOf implements core.Client.
-func (a *Analysis) PreOf(r RelID) FormulaID { return a.rels[r].pre }
+func (a *Analysis) PreOf(r RelID) FormulaID { return a.relOf(r).pre }
 
 // RelString renders a relation for diagnostics and tests.
 func (a *Analysis) RelString(r RelID) string {
 	t := a.tab
-	rr := a.rels[r]
+	rr := a.relOf(r)
 	if rr.kind == kConst {
 		return fmt.Sprintf("const%s if %s", a.StateString(rr.out), t.formulaString(rr.pre))
 	}
@@ -140,7 +134,7 @@ func (a *Analysis) Reduce(rels []RelID) []RelID {
 	byTransform := map[rel]*group{}
 	order := make([]rel, 0, len(rels))
 	for _, id := range rels {
-		k := a.rels[id]
+		k := a.relOf(id)
 		k.pre = -1
 		g := byTransform[k]
 		if g == nil {
@@ -156,7 +150,7 @@ func (a *Analysis) Reduce(rels []RelID) []RelID {
 		for _, r := range g.ids {
 			dominated := false
 			for _, s := range g.ids {
-				if s != r && a.tab.implies(a.rels[r].pre, a.rels[s].pre) {
+				if s != r && a.tab.implies(a.relOf(r).pre, a.relOf(s).pre) {
 					dominated = true
 					break
 				}
@@ -181,7 +175,7 @@ const (
 
 // formHas reports whether the formula contains the literal.
 func (t *tables) formHas(f FormulaID, l literal) bool {
-	lits := t.forms[f]
+	lits := t.formLits(f)
 	lo, hi := 0, len(lits)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -323,7 +317,7 @@ func (a *Analysis) casesMay(r rel, p PathID) []relCase {
 // alias statuses.
 func (a *Analysis) RTrans(c *ir.Prim, r RelID) []RelID {
 	t := a.tab
-	rr := a.rels[r]
+	rr := a.relOf(r)
 	if rr.kind == kConst {
 		outs := a.Trans(c, rr.out)
 		res := make([]RelID, 0, len(outs))
@@ -506,7 +500,7 @@ func (a *Analysis) wpFormula(rr rel, f FormulaID) (FormulaID, bool) {
 		return 0, false
 	}
 	acc := FormulaID(0)
-	for _, l := range t.forms[f] {
+	for _, l := range t.formLits(f) {
 		p := l.path()
 		var keep literal
 		switch l.kind() {
@@ -565,11 +559,11 @@ func (a *Analysis) wpFormula(rr rel, f FormulaID) (FormulaID, bool) {
 
 // WPre implements core.Client: dom(r) ∧ wp(r, post), or nothing when void.
 func (a *Analysis) WPre(r RelID, post FormulaID) []FormulaID {
-	w, ok := a.wpFormula(a.rels[r], post)
+	w, ok := a.wpFormula(a.relOf(r), post)
 	if !ok {
 		return nil
 	}
-	f, ok := a.tab.conjFormulas(a.rels[r].pre, w)
+	f, ok := a.tab.conjFormulas(a.relOf(r).pre, w)
 	if !ok {
 		return nil
 	}
@@ -581,7 +575,7 @@ func (a *Analysis) WPre(r RelID, post FormulaID) []FormulaID {
 // wp; the state-transformation parts compose per the r;r′ rules.
 func (a *Analysis) RComp(r1, r2 RelID) []RelID {
 	t := a.tab
-	a1, a2 := a.rels[r1], a.rels[r2]
+	a1, a2 := a.relOf(r1), a.relOf(r2)
 	w, ok := a.wpFormula(a1, a2.pre)
 	if !ok {
 		return nil
