@@ -11,7 +11,9 @@
 // -quick uses reduced budgets for a fast smoke run. -parallel bounds how
 // many engine runs execute concurrently (default GOMAXPROCS); tables are
 // byte-identical at any setting — only wall-clock changes, reported per run
-// and in total on stderr. -cpuprofile/-memprofile write pprof profiles.
+// and in total on stderr. -rawcfg and -nomemo time the superblock/memo
+// ablations; they too leave every table byte-identical.
+// -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
@@ -35,6 +37,8 @@ func main() {
 		ablation   = flag.Bool("ablation", false, "run the re-summarization ablation")
 		verify     = flag.Bool("verify", false, "assert the paper's completion pattern holds")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent engine runs (1 = serial)")
+		rawcfg     = flag.Bool("rawcfg", false, "run order-insensitive solvers on the uncompressed CFG view (A/B ablation; tables are identical, only timing changes)")
+		nomemo     = flag.Bool("nomemo", false, "disable the per-superedge transfer caches (A/B ablation)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -60,6 +64,8 @@ func main() {
 	if *quick {
 		budget = bench.QuickBudget()
 	}
+	budget.RawCFG = *rawcfg
+	budget.NoTransferMemo = *nomemo
 	s := bench.NewSuite()
 	s.Parallel = *parallel
 	s.Telemetry = os.Stderr

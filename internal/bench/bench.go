@@ -35,6 +35,15 @@ type Budget struct {
 	PathEdges int
 	Relations int
 	Timeout   time.Duration
+
+	// RawCFG and NoTransferMemo forward the corresponding core.Config A/B
+	// knobs: run the order-insensitive solvers on the uncompressed
+	// control-flow view and/or without the per-superedge transfer caches.
+	// Result tables are identical either way (budgets are counted in
+	// original-graph units); the knobs exist so the experiment harness can
+	// time the ablations.
+	RawCFG         bool
+	NoTransferMemo bool
 }
 
 // DefaultBudget returns the budget used for the headline tables. The
@@ -68,6 +77,8 @@ func (b Budget) config(k, theta int) core.Config {
 	cfg.MaxPathEdges = b.PathEdges
 	cfg.MaxRelations = b.Relations
 	cfg.Timeout = b.Timeout
+	cfg.RawCFG = b.RawCFG
+	cfg.NoTransferMemo = b.NoTransferMemo
 	return cfg
 }
 

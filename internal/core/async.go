@@ -424,7 +424,9 @@ func (a *Analysis[S, R, P]) RunSwiftAsync(initial S, config Config) *Result[S, R
 		pending: map[string]bool{},
 	}
 	h := &asyncHybrid[S, R, P]{a: a, config: config, res: res, st: st}
-	t := newTDSolver(a.Client, a.CFG, config, h)
+	// Raw view for the same reason as RunSwift: trigger decisions sample
+	// EntrySeen mid-run, so traversal order is observable.
+	t := newTDSolver(a.Client, a.raw(), config, h)
 	res.TD = t.res
 	err := t.seed(initial)
 	if err == nil {

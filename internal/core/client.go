@@ -105,6 +105,25 @@ type Client[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] interface {
 	Reduce(rels []R) []R
 }
 
+// TransCompiler is an optional capability of Client. CompileTrans returns
+// a specialized, append-style form of Trans(c, ·) with the
+// state-independent work of the primitive — name resolution, method-table
+// lookups, fixed operand sets — hoisted out of the per-state path, and
+// with whatever per-primitive memoization the client can key on its
+// interned representations. The returned function must append exactly what
+// Trans(c, s) returns (same states, same order) to dst and return the
+// extended slice, and must be safe for concurrent use if the client itself
+// is.
+//
+// The tabulation solver probes for this interface on the compressed view
+// and composes superblock chains out of compiled transfers; clients that
+// do not implement it are served by plain Trans. The raw view never uses
+// compiled transfers: the hybrid engines replay raw Trans output
+// bit-for-bit from the transfer memo (see DESIGN.md).
+type TransCompiler[S cmp.Ordered] interface {
+	CompileTrans(c *ir.Prim) func(s S, dst []S) []S
+}
+
 // Budget errors returned by the solvers when a resource limit is hit. The
 // baselines are expected to hit these on the larger benchmarks, mirroring
 // the paper's timeouts and out-of-memory failures.
@@ -157,6 +176,22 @@ type Config struct {
 
 	// Timeout bounds wall-clock time for the whole run; zero means none.
 	Timeout time.Duration
+
+	// RawCFG forces the order-insensitive solvers (RunTD, and RunBU's
+	// instantiation pass) onto the raw one-superedge-per-edge control-flow
+	// view instead of the compressed superblock view. Both views produce
+	// identical result tables and identical counters — budgets are counted
+	// in original-graph units either way — so this is an A/B knob for
+	// benchmarking and for the equivalence property tests, not a semantic
+	// switch. The hybrid engines always run on the raw view regardless
+	// (their trigger sampling is traversal-order-sensitive; see DESIGN.md).
+	RawCFG bool
+
+	// NoTransferMemo disables the per-superedge transfer caches (the
+	// top-down chain memo and the bottom-up RTrans memo), making every
+	// traversal call the client afresh — the pre-memoization behaviour.
+	// Like RawCFG, results and counters are identical either way.
+	NoTransferMemo bool
 
 	// Resummarize bounds how many times the hybrid driver may recompute a
 	// procedure's bottom-up summary after the pruning oracle mispredicted

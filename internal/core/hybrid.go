@@ -16,6 +16,13 @@ type Analysis[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
 	Client Client[S, R, P]
 	Prog   *ir.Program
 	CFG    *ir.CFG
+
+	// rawView and compView are the two solver-facing traversal overlays of
+	// CFG (see ir.RawView/ir.CompressedView), built lazily and shared by
+	// every run on this Analysis. Which engines may use the compressed view
+	// is a correctness question, not a tuning one — see tdView.
+	rawView  *ir.CFGView
+	compView *ir.CFGView
 }
 
 // NewAnalysis validates the program, builds its CFG and returns an Analysis
@@ -27,6 +34,32 @@ func NewAnalysis[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return &Analysis[S, R, P]{Client: client, Prog: prog, CFG: ir.BuildCFG(prog)}, nil
+}
+
+// raw returns the raw traversal view, building it on first use. Engine
+// entry points run on the caller's goroutine, so no locking is needed.
+func (a *Analysis[S, R, P]) raw() *ir.CFGView {
+	if a.rawView == nil {
+		a.rawView = ir.RawView(a.CFG)
+	}
+	return a.rawView
+}
+
+// tdView returns the traversal view for the order-insensitive solvers. At
+// completion, RunTD and RunBU's instantiation pass compute closure
+// properties — fact sets, summary tables, entry multiplicities and the
+// original-graph-unit counters are independent of worklist pop order — so
+// they default to the compressed superblock view. The hybrid engines must
+// NOT use it: their trigger decisions sample EntrySeen mid-run, where pop
+// order is observable (see DESIGN.md), so they always take the raw view.
+func (a *Analysis[S, R, P]) tdView(config Config) *ir.CFGView {
+	if config.RawCFG {
+		return a.raw()
+	}
+	if a.compView == nil {
+		a.compView = ir.CompressedView(a.CFG)
+	}
+	return a.compView
 }
 
 // Result is the outcome of one engine run.
@@ -115,7 +148,7 @@ func (r *Result[S, R, P]) ExitStates(entry string, initial S) []S {
 // RunTD runs the conventional top-down baseline.
 func (a *Analysis[S, R, P]) RunTD(initial S, config Config) *Result[S, R, P] {
 	start := time.Now()
-	t := newTDSolver(a.Client, a.CFG, config, nil)
+	t := newTDSolver(a.Client, a.tdView(config), config, nil)
 	err := t.seed(initial)
 	if err == nil {
 		err = t.run()
@@ -143,7 +176,7 @@ func (a *Analysis[S, R, P]) RunBU(initial S, config Config) *Result[S, R, P] {
 	}
 	res.BU = eta
 	inst := &buInstantiator[S, R, P]{a: a, eta: eta, res: res}
-	t := newTDSolver(a.Client, a.CFG, config, inst)
+	t := newTDSolver(a.Client, a.tdView(config), config, inst)
 	err = t.seed(initial)
 	if err == nil {
 		err = t.run()
@@ -186,7 +219,10 @@ func (a *Analysis[S, R, P]) RunSwift(initial S, config Config) *Result[S, R, P] 
 		watch:   map[string]*watchRec{},
 		pending: map[string]bool{},
 	}
-	t := newTDSolver(a.Client, a.CFG, config, h)
+	// The hybrid engine steps the raw view: trigger timing depends on pop
+	// order, which compression would change (see tdView). It still gets the
+	// transfer memo, whose hits replay raw Trans output bit-for-bit.
+	t := newTDSolver(a.Client, a.raw(), config, h)
 	h.td = t
 	res.TD = t.res
 	err := t.seed(initial)

@@ -70,6 +70,55 @@ func (s sortedSet[T]) union(t sortedSet[T]) sortedSet[T] {
 	return out
 }
 
+// mergeAppend merges sorted set src into dst in place, reusing dst's
+// capacity when it suffices (callers must own dst exclusively — the solver's
+// path-edge buckets qualify during a run, since results are only read after
+// the drain). Newly added elements are appended to buf, which is returned
+// so callers can reuse it as a scratch buffer; when src ⊆ dst the call
+// performs one linear scan and no allocation. src is never modified.
+func mergeAppend[T cmp.Ordered](dst sortedSet[T], src sortedSet[T], buf []T) (sortedSet[T], []T) {
+	buf = buf[:0]
+	// First pass: count the genuinely new elements.
+	novel := 0
+	i, j := 0, 0
+	for i < len(dst) && j < len(src) {
+		switch {
+		case dst[i] < src[j]:
+			i++
+		case src[j] < dst[i]:
+			novel++
+			j++
+		default:
+			i, j = i+1, j+1
+		}
+	}
+	novel += len(src) - j
+	if novel == 0 {
+		return dst, buf
+	}
+	// Grow by the exact overflow, then merge backwards so every element is
+	// moved at most once and no temporary is needed.
+	n := len(dst)
+	dst = append(dst, src[:novel]...) // content overwritten below; just grows
+	i, j = n-1, len(src)-1
+	for k := len(dst) - 1; j >= 0; k-- {
+		switch {
+		case i >= 0 && dst[i] > src[j]:
+			dst[k] = dst[i]
+			i--
+		case i >= 0 && dst[i] == src[j]:
+			dst[k] = dst[i]
+			i--
+			j--
+		default:
+			dst[k] = src[j]
+			buf = append(buf, src[j])
+			j--
+		}
+	}
+	return dst, buf
+}
+
 // equal reports set equality.
 func (s sortedSet[T]) equal(t sortedSet[T]) bool { return slices.Equal(s, t) }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"slices"
 
 	"swift/internal/ir"
 )
@@ -26,8 +27,12 @@ type callerRec[S cmp.Ordered] struct {
 // procedure summary table, and the incoming-state bookkeeping used by SWIFT
 // for triggering and for ranking relational cases.
 type TDResult[S cmp.Ordered] struct {
-	// PathEdges is the td map, indexed by CFG node ID.
-	PathEdges []map[pathPair[S]]bool
+	// PathEdges is the td map, indexed by CFG node ID: entry context of the
+	// enclosing procedure → sorted set of states reached at the node under
+	// that context. This groups the paper's td: PC → 2^(S×S) pairs by their
+	// first component, so summary resumption and NodeStatesIn read one
+	// bucket instead of scanning every pair at the node.
+	PathEdges []map[S]sortedSet[S]
 	// Summaries maps procedure → entry state → exit states. Each (entry,
 	// exit) pair is one "top-down summary" in the paper's accounting.
 	Summaries map[string]map[S]sortedSet[S]
@@ -36,11 +41,28 @@ type TDResult[S cmp.Ordered] struct {
 	// context) pairs that delivered σ; it drives the prune ranking.
 	EntrySeen map[string]multiset[S]
 	// NumPathEdges and NumSummaries are running totals used for budgets and
-	// reporting.
+	// reporting. Both are counted in original-graph units: a fact recorded
+	// at an interior node of a compressed chain charges exactly like the
+	// raw solver's insert at that node would have.
 	NumPathEdges int
 	NumSummaries int
-	// Steps counts worklist pops (a machine-independent cost measure).
+	// Steps counts worklist pops (a machine-independent cost measure), plus
+	// — on the compressed view — one unit per new interior-node fact, which
+	// is the pop the raw solver would have performed for it. At completion
+	// Steps therefore equals NumPathEdges on either view.
 	Steps int
+
+	// version counts path-edge insertions; the snapshot caches below are
+	// dropped when it moves. The accessors memoize because clients call
+	// them per check (error scans, per-node property tests); they are not
+	// safe for concurrent use — call them after the run, or from the
+	// solver's goroutine.
+	version  int
+	allSnap  sortedSet[S]
+	allSnapV int
+	allSnapOK bool
+	nodeSnap  map[int]sortedSet[S]
+	nodeSnapV int
 }
 
 // SummaryCount returns the number of top-down summaries recorded for the
@@ -53,43 +75,64 @@ func (r *TDResult[S]) SummaryCount(proc string) int {
 	return n
 }
 
-// NodeStates returns the sorted abstract states recorded at a CFG node,
-// ignoring entry contexts.
-func (r *TDResult[S]) NodeStates(node int) []S {
-	var out []S
-	for p := range r.PathEdges[node] {
-		out = append(out, p.out)
+// nodeSnapshots returns the per-node snapshot cache, valid for the current
+// version.
+func (r *TDResult[S]) nodeSnapshots() map[int]sortedSet[S] {
+	if r.nodeSnap == nil || r.nodeSnapV != r.version {
+		r.nodeSnap = map[int]sortedSet[S]{}
+		r.nodeSnapV = r.version
 	}
-	return newSortedSet(out)
+	return r.nodeSnap
+}
+
+// NodeStates returns the sorted abstract states recorded at a CFG node,
+// ignoring entry contexts. The result is memoized until the next path-edge
+// insertion; callers must not mutate it.
+func (r *TDResult[S]) NodeStates(node int) []S {
+	snap := r.nodeSnapshots()
+	if s, ok := snap[node]; ok {
+		return s
+	}
+	var s sortedSet[S]
+	for _, outs := range r.PathEdges[node] {
+		s = s.union(outs)
+	}
+	snap[node] = s
+	return s
 }
 
 // AllStates returns the sorted distinct abstract states recorded at any
 // program point in any context — everything the analysis has shown may be
-// reached. Clients scan it for error states.
+// reached. Clients scan it for error states, typically once per check, so
+// the result is memoized until the next path-edge insertion; callers must
+// not mutate it.
 func (r *TDResult[S]) AllStates() []S {
+	if r.allSnapOK && r.allSnapV == r.version {
+		return r.allSnap
+	}
 	seen := map[S]bool{}
 	var out []S
-	for _, edges := range r.PathEdges {
-		for p := range edges {
-			if !seen[p.out] {
-				seen[p.out] = true
-				out = append(out, p.out)
+	for _, byIn := range r.PathEdges {
+		for _, outs := range byIn {
+			for _, s := range outs {
+				if !seen[s] {
+					seen[s] = true
+					out = append(out, s)
+				}
 			}
 		}
 	}
-	return newSortedSet(out)
+	r.allSnap = newSortedSet(out)
+	r.allSnapV = r.version
+	r.allSnapOK = true
+	return r.allSnap
 }
 
 // NodeStatesIn returns the sorted abstract states recorded at a CFG node
-// for one entry context of the enclosing procedure.
+// for one entry context of the enclosing procedure. The returned slice is
+// the solver's own bucket; callers must not mutate it.
 func (r *TDResult[S]) NodeStatesIn(node int, in S) []S {
-	var out []S
-	for p := range r.PathEdges[node] {
-		if p.in == in {
-			out = append(out, p.out)
-		}
-	}
-	return newSortedSet(out)
+	return r.PathEdges[node][in]
 }
 
 // EntryStates returns the sorted distinct incoming states of a procedure.
@@ -111,19 +154,62 @@ type interceptor[S cmp.Ordered] interface {
 	afterCall(callee string, s S) error
 }
 
+// seMemo caches chain images for one superedge as flat arenas rather than
+// per-state objects: entry k stores its len(Interior)+1 state sets
+// back-to-back in states, with per-set lengths in lens[k*rows:(k+1)*rows]
+// and its arena offset in starts[k]. For interned integer state types the
+// states arena is pointer-free, so the cache adds nothing to GC scan work,
+// and a miss costs two amortized appends instead of a handful of small
+// allocations.
+//
+// On the compressed view every set is canonical (sorted, deduplicated). On
+// the raw view the single set per entry is the client's raw Trans output
+// with order and duplicates preserved, so replaying a memo hit propagates
+// bit-for-bit like calling Trans again — the hybrid engines depend on that
+// (see DESIGN.md).
+type seMemo[S cmp.Ordered] struct {
+	idx    map[S]int32
+	starts []int32
+	lens   []int32
+	states []S
+}
+
 // tdSolver runs the tabulation algorithm of Reps–Horwitz–Sagiv (the paper's
-// run_td) over the program CFG.
+// run_td) over a view of the program CFG.
 type tdSolver[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
 	client  Client[S, R, P]
 	cfg     *ir.CFG
 	cfgOf   map[string]*ir.ProcCFG
+	view    *ir.CFGView
 	config  Config
 	hook    interceptor[S]
 	res     *TDResult[S]
 	callers map[string]map[S][]callerRec[S]
 	work    []workItem[S]
 	head    int
-	dl      deadline
+	// memo caches chain images per superedge ID; entries are allocated on
+	// first traversal. A state reached under N entry contexts pays for the
+	// Trans composition once. Safe because Trans is required to be a
+	// deterministic function of (prim, state): repeated calls return the
+	// same slice contents, so skipping them is unobservable.
+	memo []*seMemo[S]
+	// scratch backs chain walks when NoTransferMemo disables caching; it is
+	// reset before every walk.
+	scratch seMemo[S]
+	// addbuf is the scratch buffer insertFactSet hands to mergeAppend; it
+	// holds the newly added states of the latest batch only. frontA/frontB
+	// are the chain walk's frontier double-buffer.
+	addbuf []S
+	frontA []S
+	frontB []S
+	// compiler/cchains hold the client's compiled transfers
+	// (TransCompiler), resolved lazily per superedge into a chain of
+	// append-style functions indexed like se.Prims. Non-nil only on the
+	// compressed view: the raw view must observe raw Trans output verbatim
+	// for the hybrid engines' bit-exact memo replay.
+	compiler TransCompiler[S]
+	cchains  [][]func(S, []S) []S
+	dl       deadline
 }
 
 type workItem[S cmp.Ordered] struct {
@@ -131,11 +217,17 @@ type workItem[S cmp.Ordered] struct {
 	edge pathPair[S]
 }
 
+// maxRetainedWork caps the worklist backing array kept after a drain; the
+// hybrid engines re-enter run after every bottom-up trigger, and an array
+// sized by the largest burst would otherwise be pinned for the whole run.
+const maxRetainedWork = 1 << 14
+
 func newTDSolver[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
-	client Client[S, R, P], cfg *ir.CFG, config Config, hook interceptor[S],
+	client Client[S, R, P], view *ir.CFGView, config Config, hook interceptor[S],
 ) *tdSolver[S, R, P] {
+	cfg := view.CFG
 	res := &TDResult[S]{
-		PathEdges: make([]map[pathPair[S]]bool, cfg.NodeCount),
+		PathEdges: make([]map[S]sortedSet[S], cfg.NodeCount),
 		Summaries: map[string]map[S]sortedSet[S]{},
 		EntrySeen: map[string]multiset[S]{},
 	}
@@ -143,36 +235,132 @@ func newTDSolver[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
 		res.Summaries[name] = map[S]sortedSet[S]{}
 		res.EntrySeen[name] = multiset[S]{}
 	}
-	return &tdSolver[S, R, P]{
+	t := &tdSolver[S, R, P]{
 		client:  client,
 		cfg:     cfg,
 		cfgOf:   cfg.ByProc,
+		view:    view,
 		config:  config,
 		hook:    hook,
 		res:     res,
 		callers: map[string]map[S][]callerRec[S]{},
+		memo:    make([]*seMemo[S], view.NumSuperEdges),
 		dl:      newDeadline(config.Timeout),
 	}
+	if view.Compressed {
+		if tc, ok := client.(TransCompiler[S]); ok {
+			t.compiler = tc
+			t.cchains = make([][]func(S, []S) []S, view.NumSuperEdges)
+		}
+	}
+	return t
+}
+
+// chainFuncs returns the compiled transfer chain of a superedge (indexed
+// like se.Prims), or nil when the client compiles nothing.
+func (t *tdSolver[S, R, P]) chainFuncs(se *ir.SuperEdge) []func(S, []S) []S {
+	if t.compiler == nil {
+		return nil
+	}
+	fs := t.cchains[se.ID]
+	if fs == nil {
+		fs = make([]func(S, []S) []S, len(se.Prims))
+		for i, p := range se.Prims {
+			fs[i] = t.compiler.CompileTrans(p)
+		}
+		t.cchains[se.ID] = fs
+	}
+	return fs
+}
+
+// insertFact records state out at node under entry context in, reporting
+// whether it was new and charging the path-edge budget.
+func (t *tdSolver[S, R, P]) insertFact(node int, in, out S) (bool, error) {
+	m := t.res.PathEdges[node]
+	if m == nil {
+		m = make(map[S]sortedSet[S], 4)
+		t.res.PathEdges[node] = m
+	}
+	outs, added := m[in].insert(out)
+	if !added {
+		return false, nil
+	}
+	m[in] = outs
+	t.res.version++
+	t.res.NumPathEdges++
+	if t.res.NumPathEdges > t.config.MaxPathEdges {
+		return true, ErrBudget
+	}
+	return true, nil
 }
 
 // propagate inserts a path edge and schedules it if new.
 func (t *tdSolver[S, R, P]) propagate(node int, in, out S) error {
+	added, err := t.insertFact(node, in, out)
+	if err != nil || !added {
+		return err
+	}
+	t.work = append(t.work, workItem[S]{node: node, edge: pathPair[S]{in: in, out: out}})
+	return nil
+}
+
+// batched inserts below serve the compressed chain walk; the per-fact
+// insertFact/propagate pair above serves every worklist-driven path.
+
+// insertFactSet batch-inserts a sorted set of states at (node, in): one
+// bucket fetch and one in-place merge instead of a fetch, binary search and
+// fresh slice per state. The returned slice of new states is the solver's
+// scratch buffer — valid until the next insertFactSet call. On a budget
+// trip the counter lands on exactly MaxPathEdges+1, matching where the
+// per-fact path stops, so the two views agree on NumPathEdges at an abort.
+func (t *tdSolver[S, R, P]) insertFactSet(node int, in S, states sortedSet[S]) ([]S, error) {
+	if len(states) == 0 {
+		return nil, nil
+	}
 	m := t.res.PathEdges[node]
 	if m == nil {
-		m = map[pathPair[S]]bool{}
+		m = make(map[S]sortedSet[S], 4)
 		t.res.PathEdges[node] = m
 	}
-	p := pathPair[S]{in: in, out: out}
-	if m[p] {
-		return nil
+	merged, added := mergeAppend(m[in], states, t.addbuf)
+	t.addbuf = added
+	if len(added) == 0 {
+		return nil, nil
 	}
-	m[p] = true
-	t.res.NumPathEdges++
-	if t.res.NumPathEdges > t.config.MaxPathEdges {
-		return ErrBudget
+	m[in] = merged
+	t.res.version++
+	if len(added) > t.config.MaxPathEdges-t.res.NumPathEdges {
+		t.res.NumPathEdges = t.config.MaxPathEdges + 1
+		return added, ErrBudget
 	}
-	t.work = append(t.work, workItem[S]{node: node, edge: p})
-	return nil
+	t.res.NumPathEdges += len(added)
+	return added, nil
+}
+
+// recordInteriorSet inserts the chain image at an interior node of a
+// compressed chain. These facts never enter the worklist — the chain walk
+// carries them forward — so the pops the raw solver would have performed
+// are charged here, keeping Steps in original-graph units.
+func (t *tdSolver[S, R, P]) recordInteriorSet(node int, in S, states sortedSet[S]) (int, error) {
+	added, err := t.insertFactSet(node, in, states)
+	t.res.Steps += len(added)
+	if err != nil {
+		return len(added), err
+	}
+	if len(added) == 0 {
+		return 0, nil
+	}
+	return len(added), t.dl.check()
+}
+
+// propagateSet batch-inserts path edges at (node, in) and schedules the new
+// ones.
+func (t *tdSolver[S, R, P]) propagateSet(node int, in S, states sortedSet[S]) error {
+	added, err := t.insertFactSet(node, in, states)
+	for _, s := range added {
+		t.work = append(t.work, workItem[S]{node: node, edge: pathPair[S]{in: in, out: s}})
+	}
+	return err
 }
 
 // seed enters the analysis at the program entry with the initial state.
@@ -186,6 +374,10 @@ func (t *tdSolver[S, R, P]) seed(initial S) error {
 func (t *tdSolver[S, R, P]) run() error {
 	for t.head < len(t.work) {
 		item := t.work[t.head]
+		// Zero the popped slot: the backing array survives across the
+		// re-entries of long hybrid runs and would otherwise pin every
+		// popped state for the lifetime of the run.
+		t.work[t.head] = workItem[S]{}
 		t.head++
 		t.res.Steps++
 		if err := t.dl.check(); err != nil {
@@ -195,9 +387,13 @@ func (t *tdSolver[S, R, P]) run() error {
 			return err
 		}
 	}
-	// Release the drained worklist eagerly; long hybrid runs re-enter run
-	// after bottom-up triggers.
-	t.work = t.work[:0]
+	// Release the drained worklist eagerly; oversized backing arrays from a
+	// burst are dropped wholesale rather than retained until the next one.
+	if cap(t.work) > maxRetainedWork {
+		t.work = nil
+	} else {
+		t.work = t.work[:0]
+	}
 	t.head = 0
 	return nil
 }
@@ -210,20 +406,141 @@ func (t *tdSolver[S, R, P]) step(item workItem[S]) error {
 			return err
 		}
 	}
-	for _, e := range node.Out {
-		if e.IsCall() {
-			if err := t.handleCall(e, item.edge.in, item.edge.out); err != nil {
+	for _, se := range t.view.Out[item.node] {
+		if se.IsCall() {
+			if err := t.handleCall(se, item.edge.in, item.edge.out); err != nil {
 				return err
 			}
 			continue
 		}
-		for _, s := range t.client.Trans(e.Prim, item.edge.out) {
-			if err := t.propagate(e.To.ID, item.edge.in, s); err != nil {
-				return err
-			}
+		if err := t.traverse(se, item.edge.in, item.edge.out); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// traverse pushes state out through a primitive superedge under entry
+// context in: interior nodes of a compressed chain receive their facts
+// eagerly (so every original-graph observation is preserved), and the
+// chain's final states propagate to the superedge target.
+func (t *tdSolver[S, R, P]) traverse(se *ir.SuperEdge, in, out S) error {
+	if !t.view.Compressed {
+		// Per-element, in raw Trans order: the hybrid engines replay memo
+		// hits bit-for-bit through this path (see seMemo).
+		if t.config.NoTransferMemo {
+			for _, s := range t.client.Trans(se.Prims[0], out) {
+				if err := t.propagate(se.To.ID, in, s); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		m, k := t.chainEntry(se, out)
+		start := m.starts[k]
+		for _, s := range m.states[start : start+m.lens[k]] {
+			if err := t.propagate(se.To.ID, in, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	m, k := t.chainEntry(se, out)
+	rows := int32(len(se.Interior) + 1)
+	off, lrow := m.starts[k], k*rows
+	for i, w := range se.Interior {
+		set := m.states[off : off+m.lens[lrow+int32(i)]]
+		off += m.lens[lrow+int32(i)]
+		n, err := t.recordInteriorSet(w.ID, in, set)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			// Frontier fully known at this position under this context: the
+			// walks that first recorded these states also recorded their
+			// images at every later position and propagated the finals, so
+			// the rest of the chain is a no-op — exactly where the raw
+			// solver stops propagating duplicates.
+			return nil
+		}
+	}
+	return t.propagateSet(se.To.ID, in, m.states[off:off+m.lens[lrow+rows-1]])
+}
+
+// chainEntry returns the memo holding the image of state s0 under the
+// superedge's primitive sequence, and the entry index of s0 within it,
+// computing and caching the image on a miss.
+func (t *tdSolver[S, R, P]) chainEntry(se *ir.SuperEdge, s0 S) (*seMemo[S], int32) {
+	if t.config.NoTransferMemo {
+		m := &t.scratch
+		m.starts, m.lens, m.states = m.starts[:0], m.lens[:0], m.states[:0]
+		return m, t.computeChain(se, s0, m)
+	}
+	m := t.memo[se.ID]
+	if m == nil {
+		m = &seMemo[S]{idx: make(map[S]int32, 8)}
+		t.memo[se.ID] = m
+	}
+	if k, ok := m.idx[s0]; ok {
+		return m, k
+	}
+	k := t.computeChain(se, s0, m)
+	m.idx[s0] = k
+	return m, k
+}
+
+// computeChain composes the superedge's transfer functions on one state,
+// appending the resulting state sets to the memo's arenas and returning the
+// new entry's index.
+func (t *tdSolver[S, R, P]) computeChain(se *ir.SuperEdge, s0 S, m *seMemo[S]) int32 {
+	k := int32(len(m.starts))
+	m.starts = append(m.starts, int32(len(m.states)))
+	if len(se.Prims) == 1 {
+		if !t.view.Compressed {
+			// Raw Trans output, order and duplicates preserved: see seMemo.
+			finals := t.client.Trans(se.Prims[0], s0)
+			m.states = append(m.states, finals...)
+			m.lens = append(m.lens, int32(len(finals)))
+			return k
+		}
+		// The compressed traverse path batch-merges every set, which needs
+		// them canonical; order is unobservable off the raw view.
+		var front []S
+		if fs := t.chainFuncs(se); fs != nil {
+			front = fs[0](s0, t.frontA[:0])
+		} else {
+			front = append(t.frontA[:0], t.client.Trans(se.Prims[0], s0)...)
+		}
+		slices.Sort(front)
+		front = slices.Compact(front)
+		t.frontA = front[:0]
+		m.states = append(m.states, front...)
+		m.lens = append(m.lens, int32(len(front)))
+		return k
+	}
+	fs := t.chainFuncs(se)
+	front := append(t.frontA[:0], s0)
+	next := t.frontB[:0]
+	for i, p := range se.Prims {
+		next = next[:0]
+		if fs != nil {
+			f := fs[i]
+			for _, s := range front {
+				next = f(s, next)
+			}
+		} else {
+			for _, s := range front {
+				next = append(next, t.client.Trans(p, s)...)
+			}
+		}
+		slices.Sort(next)
+		next = slices.Compact(next)
+		m.states = append(m.states, next...)
+		m.lens = append(m.lens, int32(len(next)))
+		front, next = next, front
+	}
+	t.frontA, t.frontB = front[:0], next[:0]
+	return k
 }
 
 // recordSummary adds (in → out) to the summary table of proc and resumes all
@@ -250,7 +567,7 @@ func (t *tdSolver[S, R, P]) recordSummary(proc string, in, out S) error {
 // handleCall implements lines 9–21 of Algorithm 1 for one call edge: first
 // the hook (bottom-up summaries) gets a chance; otherwise the call is
 // tabulated top-down and the hook is notified so it can check the trigger.
-func (t *tdSolver[S, R, P]) handleCall(e *ir.Edge, callerIn, s S) error {
+func (t *tdSolver[S, R, P]) handleCall(e *ir.SuperEdge, callerIn, s S) error {
 	callee := e.Call
 	if t.hook != nil {
 		results, handled, err := t.hook.beforeCall(callee, s)

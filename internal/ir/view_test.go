@@ -1,0 +1,249 @@
+package ir
+
+import "testing"
+
+// progOf wraps a single main body into a program.
+func progOf(t *testing.T, body Cmd) *CFG {
+	t.Helper()
+	p := NewProgram("main")
+	p.Add(&Proc{Name: "main", Body: body})
+	return BuildCFG(p)
+}
+
+// checkViewInvariants asserts the structural contract every view must
+// satisfy: each original out-edge of each non-interior node is covered by
+// exactly one superedge, chains are contiguous, interior nodes are
+// single-in/single-out non-entry/exit nodes with no superedges of their
+// own, and superedge IDs are dense.
+func checkViewInvariants(t *testing.T, g *CFG, v *CFGView) {
+	t.Helper()
+	covered := map[*Edge]int{}
+	ids := map[int]bool{}
+	for _, n := range g.AllNodes {
+		for _, se := range v.Out[n.ID] {
+			if se.From != n {
+				t.Errorf("superedge %d listed at node %d but From=%d", se.ID, n.ID, se.From.ID)
+			}
+			if ids[se.ID] {
+				t.Errorf("duplicate superedge ID %d", se.ID)
+			}
+			ids[se.ID] = true
+			if se.ID < 0 || se.ID >= v.NumSuperEdges {
+				t.Errorf("superedge ID %d out of range [0,%d)", se.ID, v.NumSuperEdges)
+			}
+			for _, e := range se.Edges {
+				covered[e]++
+			}
+			if se.IsCall() {
+				if len(se.Edges) != 1 || len(se.Prims) != 0 || len(se.Interior) != 0 {
+					t.Errorf("call superedge %d compressed: %d edges", se.ID, len(se.Edges))
+				}
+				continue
+			}
+			if len(se.Prims) != len(se.Edges) || len(se.Interior) != len(se.Prims)-1 {
+				t.Errorf("superedge %d shape: %d prims, %d edges, %d interior",
+					se.ID, len(se.Prims), len(se.Edges), len(se.Interior))
+			}
+			cur := se.From
+			for i, e := range se.Edges {
+				if e.From != cur {
+					t.Errorf("superedge %d not contiguous at position %d", se.ID, i)
+				}
+				if e.Prim != se.Prims[i] {
+					t.Errorf("superedge %d prim mismatch at position %d", se.ID, i)
+				}
+				if i < len(se.Interior) && se.Interior[i] != e.To {
+					t.Errorf("superedge %d interior mismatch at position %d", se.ID, i)
+				}
+				cur = e.To
+			}
+			if cur != se.To {
+				t.Errorf("superedge %d ends at node %d, To=%d", se.ID, cur.ID, se.To.ID)
+			}
+			if v.Interior[se.To.ID] {
+				t.Errorf("superedge %d targets interior node %d", se.ID, se.To.ID)
+			}
+		}
+	}
+	for _, pc := range g.ByProc {
+		for _, n := range pc.Nodes {
+			if !v.Interior[n.ID] {
+				continue
+			}
+			if n == pc.Entry || n == pc.Exit {
+				t.Errorf("entry/exit node %d marked interior", n.ID)
+			}
+			if len(n.In) != 1 || len(n.Out) != 1 {
+				t.Errorf("interior node %d has %d in, %d out edges", n.ID, len(n.In), len(n.Out))
+			}
+			if n.In[0].IsCall() || n.Out[0].IsCall() {
+				t.Errorf("interior node %d touches a call edge", n.ID)
+			}
+			if len(v.Out[n.ID]) != 0 {
+				t.Errorf("interior node %d has its own superedges", n.ID)
+			}
+		}
+	}
+	// Every original edge of a view must be covered exactly once.
+	for _, n := range g.AllNodes {
+		for _, e := range n.Out {
+			if covered[e] != 1 {
+				t.Errorf("edge %d->%d (%s) covered %d times", e.From.ID, e.To.ID, e.Label(), covered[e])
+			}
+		}
+	}
+}
+
+func nopSeq(n int) *Seq {
+	cmds := make([]Cmd, n)
+	for i := range cmds {
+		cmds[i] = &Prim{Kind: Nop}
+	}
+	return &Seq{Cmds: cmds}
+}
+
+func TestRawViewMirrorsEdges(t *testing.T) {
+	g := progOf(t, &Seq{Cmds: []Cmd{
+		nopSeq(3),
+		&Choice{Alts: []Cmd{&Prim{Kind: Nop}, nopSeq(2)}},
+		&Loop{Body: &Prim{Kind: Nop}},
+	}})
+	v := RawView(g)
+	checkViewInvariants(t, g, v)
+	edges := 0
+	for _, n := range g.AllNodes {
+		if len(v.Out[n.ID]) != len(n.Out) {
+			t.Errorf("node %d: %d superedges, %d edges", n.ID, len(v.Out[n.ID]), len(n.Out))
+		}
+		for i, se := range v.Out[n.ID] {
+			if se.Len() != 1 || se.Edges[0] != n.Out[i] {
+				t.Errorf("node %d superedge %d is not the matching single edge", n.ID, i)
+			}
+		}
+		edges += len(n.Out)
+	}
+	if v.NumSuperEdges != edges {
+		t.Errorf("NumSuperEdges = %d, want %d", v.NumSuperEdges, edges)
+	}
+	for id, in := range v.Interior {
+		if in {
+			t.Errorf("raw view marked node %d interior", id)
+		}
+	}
+}
+
+// TestCompressedStraightLine: a straight-line body collapses to a single
+// entry→exit superedge swallowing every intermediate node.
+func TestCompressedStraightLine(t *testing.T) {
+	g := progOf(t, nopSeq(5))
+	v := CompressedView(g)
+	checkViewInvariants(t, g, v)
+	pc := g.ByProc["main"]
+	out := v.Out[pc.Entry.ID]
+	if len(out) != 1 {
+		t.Fatalf("entry has %d superedges, want 1", len(out))
+	}
+	se := out[0]
+	if se.To != pc.Exit || se.Len() != 5 || len(se.Interior) != 4 {
+		t.Errorf("chain = %d edges, %d interior, to exit=%v", se.Len(), len(se.Interior), se.To == pc.Exit)
+	}
+	if v.NumSuperEdges != 1 {
+		t.Errorf("NumSuperEdges = %d, want 1", v.NumSuperEdges)
+	}
+}
+
+// TestCompressedSingleEdgeProc: a one-command body (entry and exit
+// adjacent) has nothing to compress.
+func TestCompressedSingleEdgeProc(t *testing.T) {
+	g := progOf(t, &Prim{Kind: Nop})
+	v := CompressedView(g)
+	checkViewInvariants(t, g, v)
+	pc := g.ByProc["main"]
+	out := v.Out[pc.Entry.ID]
+	if len(out) != 1 || out[0].Len() != 1 || out[0].To != pc.Exit {
+		t.Fatalf("single-edge proc compressed incorrectly: %+v", out)
+	}
+}
+
+// TestCompressedSelfLoop: a loop head's back edge is a self-loop once the
+// body is a single command; the head must stay a traversal point.
+func TestCompressedSelfLoop(t *testing.T) {
+	g := progOf(t, &Loop{Body: &Prim{Kind: Nop}})
+	v := CompressedView(g)
+	checkViewInvariants(t, g, v)
+	for _, n := range g.AllNodes {
+		for _, e := range n.Out {
+			if e.From == e.To && v.Interior[e.From.ID] {
+				t.Errorf("self-loop node %d marked interior", e.From.ID)
+			}
+		}
+	}
+}
+
+// TestCompressedLoopBodyChain: a loop whose body is straight-line yields a
+// chain that starts and ends at the loop head.
+func TestCompressedLoopBodyChain(t *testing.T) {
+	g := progOf(t, &Loop{Body: nopSeq(4)})
+	v := CompressedView(g)
+	checkViewInvariants(t, g, v)
+	found := false
+	for _, n := range g.AllNodes {
+		for _, se := range v.Out[n.ID] {
+			if se.From == se.To && se.Len() == 4 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("loop body chain back to its head not compressed")
+	}
+}
+
+// TestCompressedCallAdjacentChains: calls are never swallowed; the chains
+// on either side stop at the call's endpoints.
+func TestCompressedCallAdjacentChains(t *testing.T) {
+	p := NewProgram("main")
+	p.Add(&Proc{Name: "callee", Body: &Prim{Kind: Nop}})
+	p.Add(&Proc{Name: "main", Body: &Seq{Cmds: []Cmd{
+		nopSeq(3), &Call{Callee: "callee"}, nopSeq(3),
+	}}})
+	g := BuildCFG(p)
+	v := CompressedView(g)
+	checkViewInvariants(t, g, v)
+	calls := 0
+	for _, n := range g.AllNodes {
+		for _, se := range v.Out[n.ID] {
+			if se.IsCall() {
+				calls++
+				if v.Interior[se.From.ID] || v.Interior[se.To.ID] {
+					t.Error("call endpoint swallowed into a chain")
+				}
+			}
+		}
+	}
+	if calls != 1 {
+		t.Errorf("found %d call superedges, want 1", calls)
+	}
+	// The two flanking chains must each have been compressed to one
+	// superedge of length 3.
+	pc := g.ByProc["main"]
+	if out := v.Out[pc.Entry.ID]; len(out) != 1 || out[0].Len() != 3 {
+		t.Errorf("pre-call chain not compressed: %d superedges", len(v.Out[pc.Entry.ID]))
+	}
+}
+
+// TestCompressedBranchJoinStaysUncompressed: nodes with two predecessors
+// or two successors are never interior.
+func TestCompressedBranchJoinStaysUncompressed(t *testing.T) {
+	g := progOf(t, &Seq{Cmds: []Cmd{
+		&Choice{Alts: []Cmd{nopSeq(2), &Prim{Kind: Nop}}},
+		nopSeq(2),
+	}})
+	v := CompressedView(g)
+	checkViewInvariants(t, g, v)
+	for _, n := range g.AllNodes {
+		if (len(n.In) > 1 || len(n.Out) > 1) && v.Interior[n.ID] {
+			t.Errorf("branch/join node %d marked interior", n.ID)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package typestate
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"swift/internal/ir"
 )
@@ -36,6 +37,10 @@ type Analysis struct {
 	// relation interning
 	rels  *interner[rel, rel]
 	idRel RelID
+
+	// compiled transfer cache (compile.go), lazily populated
+	compiledMu sync.RWMutex
+	compiled   map[*ir.Prim]func(AbsID, []AbsID) []AbsID
 }
 
 // ConcurrentClient marks the analysis as safe for concurrent use, so
@@ -68,6 +73,7 @@ func NewAnalysis(prog *ir.Program, track map[string]*Property, oracle Oracle) (*
 			trans:       newInterner[string, []GState](hashString),
 			methodTrans: newMemoMap[string, TransID](hashString),
 			composeMemo: newMemoMap[[2]TransID, TransID](hashTransPair),
+			setOpMemo:   newMemoMap[setOpKey, SetID](hashSetOp),
 			abs:         newInterner[absState, absState](hashAbs),
 			forms:       newInterner[string, []literal](hashString),
 		},

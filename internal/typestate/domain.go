@@ -133,6 +133,13 @@ type tables struct {
 	methodTrans *memoMap[string, TransID]
 	composeMemo *memoMap[[2]TransID, TransID]
 
+	// setOpMemo caches union/minus results on interned operand pairs, so
+	// the compiled transfer path (compile.go) replaces the canonical
+	// encode-and-hash of internSet with one integer-keyed lookup for
+	// operand pairs it has seen before. Op results are deterministic, so
+	// racing puts are benign (see memoMap).
+	setOpMemo *memoMap[setOpKey, SetID]
+
 	// abstract states
 	abs *interner[absState, absState]
 
@@ -277,6 +284,50 @@ func (t *tables) setUnionElems(s SetID, add []PathID) SetID {
 		return s
 	}
 	return t.setUnion(s, t.internSet(add))
+}
+
+// setOpKey identifies one memoized binary set operation.
+type setOpKey struct {
+	op   int8 // opUnion or opMinus
+	x, y SetID
+}
+
+const (
+	opUnion int8 = iota
+	opMinus
+)
+
+func hashSetOp(k setOpKey) uint64 {
+	h := mix(uint64(fnvOffset), uint64(uint8(k.op)))
+	h = mix(h, uint64(uint32(k.x)))
+	return mix(h, uint64(uint32(k.y)))
+}
+
+// setUnionID is setUnion with the result memoized under the operand pair,
+// for hot paths whose right operand is a fixed interned set.
+func (t *tables) setUnionID(a, b SetID) SetID {
+	if a == b {
+		return a
+	}
+	key := setOpKey{op: opUnion, x: a, y: b}
+	if id, ok := t.setOpMemo.get(key); ok {
+		return id
+	}
+	id := t.setUnion(a, b)
+	t.setOpMemo.put(key, id)
+	return id
+}
+
+// setMinusID is setMinus with an interned subtrahend and the result
+// memoized under the operand pair.
+func (t *tables) setMinusID(s, rm SetID) SetID {
+	key := setOpKey{op: opMinus, x: s, y: rm}
+	if id, ok := t.setOpMemo.get(key); ok {
+		return id
+	}
+	id := t.setMinus(s, t.setElems(rm))
+	t.setOpMemo.put(key, id)
+	return id
 }
 
 func (t *tables) setIntersect(a, b SetID) SetID {
