@@ -14,6 +14,14 @@
 // and in total on stderr. -rawcfg and -nomemo time the superblock/memo
 // ablations; they too leave every table byte-identical.
 // -cpuprofile/-memprofile write pprof profiles.
+//
+//	swiftbench -record DIR   record one live swift-async schedule per benchmark
+//	swiftbench -replay DIR   render the swift-async table by replaying DIR
+//
+// Replay is bit-deterministic: the same trace directory renders the same
+// table bytes at any -parallel setting. -faultevery N (with -faultseed)
+// arms the chaos mode, injecting roughly one seeded client fault per N
+// operations into every run; aborted runs render as DNF cells.
 package main
 
 import (
@@ -39,11 +47,16 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent engine runs (1 = serial)")
 		rawcfg     = flag.Bool("rawcfg", false, "run order-insensitive solvers on the uncompressed CFG view (A/B ablation; tables are identical, only timing changes)")
 		nomemo     = flag.Bool("nomemo", false, "disable the per-superedge transfer caches (A/B ablation)")
+		record     = flag.String("record", "", "record one live swift-async schedule per benchmark into this directory")
+		replay     = flag.String("replay", "", "render the swift-async table by deterministically replaying the traces in this directory")
+		faultevery = flag.Int64("faultevery", 0, "chaos mode: inject roughly one seeded client fault per N operations into every run (0 = off)")
+		faultseed  = flag.Uint64("faultseed", 1, "seed for -faultevery's fault schedule")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if !*all && *tableN == 0 && *figureN == 0 && !*taint && !*ablation && !*verify {
+	if !*all && *tableN == 0 && *figureN == 0 && !*taint && !*ablation && !*verify &&
+		*record == "" && *replay == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -66,6 +79,8 @@ func main() {
 	}
 	budget.RawCFG = *rawcfg
 	budget.NoTransferMemo = *nomemo
+	budget.FaultEvery = *faultevery
+	budget.FaultSeed = *faultseed
 	s := bench.NewSuite()
 	s.Parallel = *parallel
 	s.Telemetry = os.Stderr
@@ -103,6 +118,12 @@ func main() {
 	}
 	if *verify {
 		run("verify", func() error { return s.Verify(os.Stdout, budget) })
+	}
+	if *record != "" {
+		run("record", func() error { return s.RecordAsync(*record, budget) })
+	}
+	if *replay != "" {
+		run("replay", func() error { return s.AsyncReplayTable(os.Stdout, budget, *replay) })
 	}
 	fmt.Fprintf(os.Stderr, "swiftbench: total wall-clock %s (parallel=%d)\n",
 		time.Since(start).Round(time.Millisecond), *parallel)

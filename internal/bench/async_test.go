@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestAsyncRecordReplayByteIdentical extends the harness determinism
+// contract to the asynchronous engine: once a schedule is recorded, the
+// replay table renders byte-identically across repeated renders and
+// -parallel settings (run under -race this also exercises concurrent
+// replays for data races).
+func TestAsyncRecordReplayByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	rec := smallSuite(2)
+	if err := rec.RecordAsync(dir, QuickBudget()); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	for _, p := range rec.Profiles {
+		if _, err := os.Stat(tracePath(dir, p.Name)); err != nil {
+			t.Fatalf("no trace written for %s: %v", p.Name, err)
+		}
+	}
+	render := func(parallel int) string {
+		s := smallSuite(parallel)
+		var b strings.Builder
+		if err := s.AsyncReplayTable(&b, QuickBudget(), dir); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return b.String()
+	}
+	serial := render(1)
+	for _, parallel := range []int{2, 8} {
+		if got := render(parallel); got != serial {
+			t.Errorf("parallel=%d replay table differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				parallel, serial, got)
+		}
+	}
+	for _, name := range []string{"jpat-p", "elevator", "toba-s"} {
+		if !strings.Contains(serial, name) {
+			t.Errorf("replay table missing %s:\n%s", name, serial)
+		}
+	}
+}
+
+// TestAsyncReplayMissingTrace pins the error message pointing the user at
+// RecordAsync when the trace directory is missing or incomplete.
+func TestAsyncReplayMissingTrace(t *testing.T) {
+	s := smallSuite(1)
+	var b strings.Builder
+	err := s.AsyncReplayTable(&b, QuickBudget(), t.TempDir())
+	if err == nil || !strings.Contains(err.Error(), "RecordAsync") {
+		t.Fatalf("err = %v, want a hint at RecordAsync", err)
+	}
+}
+
+// TestFaultBudgetChaosTable smokes the chaos mode: with a seeded fault
+// plan armed on every run, Table 2 must still render — runs that abort
+// become DNF cells instead of failing the experiment.
+func TestFaultBudgetChaosTable(t *testing.T) {
+	s := smallSuite(2)
+	budget := QuickBudget()
+	budget.FaultEvery = 5000
+	budget.FaultSeed = 7
+	var b strings.Builder
+	if err := s.Table2(&b, budget); err != nil {
+		t.Fatalf("chaos table: %v", err)
+	}
+	if !strings.Contains(b.String(), "jpat-p") {
+		t.Errorf("unexpected chaos table:\n%s", b.String())
+	}
+}

@@ -1,6 +1,7 @@
 // Package bench is the experiment harness of the reproduction: it runs the
-// three engines over the synthetic benchmark suite and renders every table
-// and figure of the paper's evaluation section (Tables 1–4 and Figure 5).
+// engines over the synthetic benchmark suite and renders every table and
+// figure of the paper's evaluation section (Tables 1–4 and Figure 5), plus
+// the asynchronous engine's record/replay table (async.go).
 //
 // Runs are independent — each gets its own freshly built pipeline — so the
 // harness executes them on a bounded worker pool (Suite.Parallel) and
@@ -44,6 +45,15 @@ type Budget struct {
 	// time the ablations.
 	RawCFG         bool
 	NoTransferMemo bool
+
+	// FaultEvery, when positive, arms a seeded fault-injection plan on
+	// every engine run (roughly one injected fault per FaultEvery client
+	// operations, drawn from FaultSeed): a chaos-smoke mode proving the
+	// harness renders tables even when runs crash-degrade or abort. Each
+	// run gets its own plan — core.FaultPlan carries a per-run operation
+	// counter and must not be shared across concurrent runs.
+	FaultEvery int64
+	FaultSeed  uint64
 }
 
 // DefaultBudget returns the budget used for the headline tables. The
@@ -79,6 +89,9 @@ func (b Budget) config(k, theta int) core.Config {
 	cfg.Timeout = b.Timeout
 	cfg.RawCFG = b.RawCFG
 	cfg.NoTransferMemo = b.NoTransferMemo
+	if b.FaultEvery > 0 {
+		cfg.Fault = core.SeededFaultPlan(b.FaultSeed, b.FaultEvery)
+	}
 	return cfg
 }
 

@@ -99,6 +99,12 @@ func runBU[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
 	rank map[string]multiset[S],
 	stats *BUStats,
 ) (map[string]RSet[R, P], error) {
+	if name, ok := config.Fault.triggerBudgetFault(f); ok {
+		// Injected per-trigger budget exhaustion: the hybrid drivers see
+		// the same ErrBudget a genuinely blown budget produces and fall
+		// back to top-down analysis for this trigger.
+		return nil, fmt.Errorf("core: run_bu(%s): injected trigger budget fault: %w", name, ErrBudget)
+	}
 	b := &buSolver[S, R, P]{
 		client: client,
 		prog:   prog,

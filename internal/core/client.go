@@ -193,6 +193,30 @@ type Config struct {
 	// Like RawCFG, results and counters are identical either way.
 	NoTransferMemo bool
 
+	// Fault, when non-nil, arms the deterministic fault-injection layer:
+	// every engine entry point wraps the client so the plan's scheduled
+	// faults (errors, panics, stalls, forced budget exhaustion) fire at
+	// their operation indices, and run_bu honours the plan's per-trigger
+	// budget faults. Results with an empty plan are byte-identical to an
+	// unarmed run (the wrapper only counts). See fault.go.
+	Fault *FaultPlan
+
+	// RecordTrace, when non-nil, makes RunSwiftAsync record its
+	// scheduling-visible decisions (worker spawns, summary installs and
+	// failures, relative to the call-event stream) into the trace. The
+	// trace is rewritten from scratch; see trace.go.
+	RecordTrace *Trace
+
+	// ReplayTrace, when non-nil, makes RunSwiftAsync re-run a recorded
+	// schedule deterministically on a single goroutine: each run_bu
+	// executes synchronously at its recorded spawn point and its outcome
+	// becomes visible at its recorded install point. Replays of the same
+	// trace on identically built pipelines are bit-identical. A trace
+	// that does not match the run (different program, thresholds, or
+	// client behaviour) fails with ErrTraceMismatch. Takes precedence
+	// over RecordTrace.
+	ReplayTrace *Trace
+
 	// Resummarize bounds how many times the hybrid driver may recompute a
 	// procedure's bottom-up summary after the pruning oracle mispredicted
 	// the dominant case. The paper's Algorithm 1 summarizes each procedure

@@ -93,10 +93,17 @@ type Result[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
 	// Resummarized counts adaptive summary recomputations (see
 	// Config.Resummarize).
 	Resummarized int
+	// ClientPanics counts client panics contained inside bottom-up
+	// triggers (each is retried up to panicRetryLimit times, then the
+	// trigger degrades to a BUFailed top-down fallback). Engine-level
+	// panics are not counted here; they surface in Err.
+	ClientPanics int
 	// Elapsed is wall-clock duration of the run.
 	Elapsed time.Duration
-	// Err is nil if the run completed, or ErrBudget/ErrDeadline if the
-	// engine did not finish (the paper's "timeout" entries).
+	// Err is nil if the run completed, or a wrapped
+	// ErrBudget/ErrDeadline/ErrClientPanic/ErrClientFault if the engine
+	// did not finish (the paper's "timeout" entries, plus the fault
+	// model's containment outcomes). Match with errors.Is.
 	Err error
 }
 
@@ -148,17 +155,19 @@ func (r *Result[S, R, P]) ExitStates(entry string, initial S) []S {
 // RunTD runs the conventional top-down baseline.
 func (a *Analysis[S, R, P]) RunTD(initial S, config Config) *Result[S, R, P] {
 	start := time.Now()
-	t := newTDSolver(a.Client, a.tdView(config), config, nil)
-	err := t.seed(initial)
-	if err == nil {
-		err = t.run()
-	}
-	return &Result[S, R, P]{
-		Engine:  "td",
-		TD:      t.res,
-		Elapsed: time.Since(start),
-		Err:     err,
-	}
+	client := effectiveClient(a.Client, config)
+	t := newTDSolver(client, a.tdView(config), config, nil)
+	res := &Result[S, R, P]{Engine: "td", TD: t.res}
+	err := func() (err error) {
+		defer contain(&err)
+		if err := t.seed(initial); err != nil {
+			return err
+		}
+		return t.run()
+	}()
+	res.Elapsed = time.Since(start)
+	res.Err = err
+	return res
 }
 
 // RunBU runs the conventional bottom-up baseline: relational summaries with
@@ -167,21 +176,23 @@ func (a *Analysis[S, R, P]) RunTD(initial S, config Config) *Result[S, R, P] {
 func (a *Analysis[S, R, P]) RunBU(initial S, config Config) *Result[S, R, P] {
 	start := time.Now()
 	res := &Result[S, R, P]{Engine: "bu", BU: map[string]RSet[R, P]{}}
-	f := a.Prog.Reachable(a.Prog.Entry)
-	eta, err := runBU(a.Client, a.Prog, config, Unlimited, f, nil, nil, &res.BUStats)
-	if err != nil {
-		res.Elapsed = time.Since(start)
-		res.Err = err
-		return res
-	}
-	res.BU = eta
-	inst := &buInstantiator[S, R, P]{a: a, eta: eta, res: res}
-	t := newTDSolver(a.Client, a.tdView(config), config, inst)
-	err = t.seed(initial)
-	if err == nil {
-		err = t.run()
-	}
-	res.TD = t.res
+	client := effectiveClient(a.Client, config)
+	err := func() (err error) {
+		defer contain(&err)
+		f := a.Prog.Reachable(a.Prog.Entry)
+		eta, err := safeRunBU(client, a.Prog, config, Unlimited, f, nil, nil, &res.BUStats)
+		if err != nil {
+			return err
+		}
+		res.BU = eta
+		inst := &buInstantiator[S, R, P]{client: client, eta: eta, res: res}
+		t := newTDSolver(client, a.tdView(config), config, inst)
+		res.TD = t.res
+		if err := t.seed(initial); err != nil {
+			return err
+		}
+		return t.run()
+	}()
 	res.Elapsed = time.Since(start)
 	res.Err = err
 	return res
@@ -189,9 +200,9 @@ func (a *Analysis[S, R, P]) RunBU(initial S, config Config) *Result[S, R, P] {
 
 // buInstantiator answers every call from precomputed bottom-up summaries.
 type buInstantiator[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
-	a   *Analysis[S, R, P]
-	eta map[string]RSet[R, P]
-	res *Result[S, R, P]
+	client Client[S, R, P]
+	eta    map[string]RSet[R, P]
+	res    *Result[S, R, P]
 }
 
 func (b *buInstantiator[S, R, P]) beforeCall(callee string, s S) ([]S, bool, error) {
@@ -200,7 +211,7 @@ func (b *buInstantiator[S, R, P]) beforeCall(callee string, s S) ([]S, bool, err
 		return nil, false, nil
 	}
 	b.res.CallsViaBU++
-	return ApplySummary(b.a.Client, rs, s), true, nil
+	return ApplySummary(b.client, rs, s), true, nil
 }
 
 func (b *buInstantiator[S, R, P]) afterCall(string, S) error { return nil }
@@ -214,28 +225,33 @@ func (a *Analysis[S, R, P]) RunSwift(initial S, config Config) *Result[S, R, P] 
 		BU:       map[string]RSet[R, P]{},
 		BUFailed: map[string]bool{},
 	}
+	client := effectiveClient(a.Client, config)
 	h := &hybrid[S, R, P]{
-		a: a, config: config, res: res,
-		watch:   map[string]*watchRec{},
-		pending: map[string]bool{},
+		a: a, client: client, config: config, res: res,
+		watch:    map[string]*watchRec{},
+		pending:  map[string]bool{},
+		panicked: map[string]int{},
 	}
 	// The hybrid engine steps the raw view: trigger timing depends on pop
 	// order, which compression would change (see tdView). It still gets the
 	// transfer memo, whose hits replay raw Trans output bit-for-bit.
-	t := newTDSolver(a.Client, a.raw(), config, h)
+	t := newTDSolver(client, a.raw(), config, h)
 	h.td = t
 	res.TD = t.res
-	err := t.seed(initial)
-	if err == nil {
-		err = t.run()
-	}
-	if err == nil {
+	err := func() (err error) {
+		defer contain(&err)
+		if err := t.seed(initial); err != nil {
+			return err
+		}
+		if err := t.run(); err != nil {
+			return err
+		}
 		// The worklist is empty; flush triggers still postponed in pending
 		// (the periodic retry only fires every 64th call event, so triggers
 		// whose last chance fell inside a retry window gap would otherwise
 		// be dropped and the run would under-summarize).
-		err = h.drainPending()
-	}
+		return h.drainPending()
+	}()
 	res.Triggered = newSortedSet(res.Triggered)
 	res.Elapsed = time.Since(start)
 	res.Err = err
@@ -245,10 +261,16 @@ func (a *Analysis[S, R, P]) RunSwift(initial S, config Config) *Result[S, R, P] 
 // hybrid is the call interceptor implementing the SWIFT-specific parts of
 // Algorithm 1 (lines 12–19).
 type hybrid[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
-	a      *Analysis[S, R, P]
+	a *Analysis[S, R, P]
+	// client is the effective client of this run (the analysis client, or
+	// its fault wrapper when Config.Fault is armed).
+	client Client[S, R, P]
 	td     *tdSolver[S, R, P]
 	config Config
 	res    *Result[S, R, P]
+	// panicked counts contained run_bu panics per trigger, bounding retries
+	// at panicRetryLimit before the trigger degrades to BUFailed.
+	panicked map[string]int
 	// watch tracks per-procedure Σ-fallbacks to drive adaptive
 	// re-summarization (Config.Resummarize).
 	watch map[string]*watchRec
@@ -276,14 +298,14 @@ func (h *hybrid[S, R, P]) beforeCall(callee string, s S) ([]S, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
-	if Ignores(h.a.Client, rs, s) {
+	if Ignores(h.client, rs, s) {
 		h.res.CallsInSigma++
 		if err := h.noteFallback(callee); err != nil {
 			return nil, false, err
 		}
 		return nil, false, nil
 	}
-	results := ApplySummary(h.a.Client, rs, s)
+	results := ApplySummary(h.client, rs, s)
 	if len(results) == 0 {
 		// The commands of the language are total, so a correct client's
 		// summary relates every non-ignored state to at least one output
@@ -317,11 +339,18 @@ func (h *hybrid[S, R, P]) noteFallback(callee string) error {
 	old := h.res.BU[callee]
 	delete(h.res.BU, callee)
 	var stats BUStats
-	eta, err := runBU(
-		h.a.Client, h.a.Prog, h.config, h.config.Theta,
+	eta, err := safeRunBU(
+		h.client, h.a.Prog, h.config, h.config.Theta,
 		[]string{callee}, h.res.BU, h.res.TD.EntrySeen, &stats,
 	)
 	h.res.BUStats.add(stats)
+	if errors.Is(err, ErrClientPanic) {
+		// A panicking recomputation is treated like a blown budget: keep the
+		// old (still sound) summary and move on.
+		h.res.ClientPanics++
+		h.res.BU[callee] = old
+		return nil
+	}
 	if errors.Is(err, ErrBudget) {
 		h.res.BU[callee] = old
 		return nil
@@ -426,30 +455,44 @@ func (h *hybrid[S, R, P]) trigger(f string, force bool) error {
 		}
 	}
 	delete(h.pending, f)
-	// Each trigger gets the full MaxRelations/MaxBUSteps budget from the
-	// config (worker-local counters, aggregated after), matching the async
-	// engine's per-worker accounting — a cumulative charge here would make
-	// the two engines disagree on which trigger DNFs.
-	var stats BUStats
-	eta, err := runBU(
-		h.a.Client, h.a.Prog, h.config, h.config.Theta,
-		frontier, h.res.BU, h.res.TD.EntrySeen, &stats,
-	)
-	h.res.BUStats.add(stats)
-	if errors.Is(err, ErrBudget) {
-		// The bottom-up side ran out of budget: fall back to pure top-down
-		// for this trigger procedure and carry on.
-		h.res.BUFailed[f] = true
+	for {
+		// Each trigger gets the full MaxRelations/MaxBUSteps budget from the
+		// config (worker-local counters, aggregated after), matching the
+		// async engine's per-worker accounting — a cumulative charge here
+		// would make the two engines disagree on which trigger DNFs.
+		var stats BUStats
+		eta, err := safeRunBU(
+			h.client, h.a.Prog, h.config, h.config.Theta,
+			frontier, h.res.BU, h.res.TD.EntrySeen, &stats,
+		)
+		h.res.BUStats.add(stats)
+		if errors.Is(err, ErrClientPanic) {
+			// A contained panic inside the trigger: retry a bounded number
+			// of times, then degrade to the same top-down fallback a blown
+			// budget gets (Theorem 3.1 makes the fallback safe).
+			h.res.ClientPanics++
+			h.panicked[f]++
+			if h.panicked[f] <= panicRetryLimit {
+				continue
+			}
+			h.res.BUFailed[f] = true
+			return nil
+		}
+		if errors.Is(err, ErrBudget) {
+			// The bottom-up side ran out of budget: fall back to pure
+			// top-down for this trigger procedure and carry on.
+			h.res.BUFailed[f] = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for name, rs := range eta {
+			h.res.BU[name] = rs
+		}
+		h.res.Triggered = append(h.res.Triggered, f)
 		return nil
 	}
-	if err != nil {
-		return err
-	}
-	for name, rs := range eta {
-		h.res.BU[name] = rs
-	}
-	h.res.Triggered = append(h.res.Triggered, f)
-	return nil
 }
 
 // reachableWithoutSummaries returns the procedures reachable from f by call

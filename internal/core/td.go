@@ -57,9 +57,9 @@ type TDResult[S cmp.Ordered] struct {
 	// them per check (error scans, per-node property tests); they are not
 	// safe for concurrent use — call them after the run, or from the
 	// solver's goroutine.
-	version  int
-	allSnap  sortedSet[S]
-	allSnapV int
+	version   int
+	allSnap   sortedSet[S]
+	allSnapV  int
 	allSnapOK bool
 	nodeSnap  map[int]sortedSet[S]
 	nodeSnapV int

@@ -146,7 +146,7 @@ func benchmarkAllStates(b *testing.B, fresh bool) {
 }
 
 func BenchmarkAllStatesMemoized(b *testing.B) { benchmarkAllStates(b, false) }
-func BenchmarkAllStatesFresh(b *testing.B)   { benchmarkAllStates(b, true) }
+func BenchmarkAllStatesFresh(b *testing.B)    { benchmarkAllStates(b, true) }
 
 // TestTransferMemoHits sanity-checks that the chain memo actually engages
 // on a looping program (the perf claim depends on it): after a run, at

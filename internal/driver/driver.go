@@ -67,8 +67,8 @@ func FromHIR(prog *hir.Program) (*Build, error) {
 // Result is a type-state analysis result under one engine.
 type Result = core.Result[typestate.AbsID, typestate.RelID, typestate.FormulaID]
 
-// Run executes the named engine ("td", "bu" or "swift") with the given
-// configuration, starting from the bootstrap state.
+// Run executes the named engine ("td", "bu", "swift" or "swift-async")
+// with the given configuration, starting from the bootstrap state.
 func (b *Build) Run(engine string, cfg core.Config) (*Result, error) {
 	init := b.TS.InitialState()
 	switch engine {
@@ -80,8 +80,12 @@ func (b *Build) Run(engine string, cfg core.Config) (*Result, error) {
 		return b.Core.RunBU(init, cfg), nil
 	case "swift":
 		return b.Core.RunSwift(init, cfg), nil
+	case "swift-async":
+		// The type-state client is a ConcurrentClient (sharded interners),
+		// so no Synchronized wrapper is needed.
+		return b.Core.RunSwiftAsync(init, cfg), nil
 	}
-	return nil, fmt.Errorf("driver: unknown engine %q (want td, bu or swift)", engine)
+	return nil, fmt.Errorf("driver: unknown engine %q (want td, bu, swift or swift-async)", engine)
 }
 
 // ErrorReport lists the allocation sites whose tracked objects may reach a
