@@ -121,7 +121,10 @@ func run(w io.Writer, path string, o options) error {
 			len(res.Triggered), res.CallsViaBU, res.CallsViaTD)
 	}
 
-	errs := b.ErrorReport(res)
+	errs, err := b.ErrorReport(res)
+	if err != nil {
+		return err
+	}
 	if len(errs) == 0 {
 		fmt.Fprintln(w, "no type-state errors found")
 	} else {

@@ -6,14 +6,19 @@
 //	swiftbench -table 3      k sweep on the avrora stand-in (Table 3)
 //	swiftbench -table 4      θ=1 vs θ=2 (Table 4)
 //	swiftbench -figure 5     per-method summary distributions (Figure 5)
+//	swiftbench -slices       site-sliced vs monolithic costs (sliced table)
 //	swiftbench -all          everything
 //
 // -quick uses reduced budgets for a fast smoke run. -parallel bounds how
 // many engine runs execute concurrently (default GOMAXPROCS); tables are
 // byte-identical at any setting — only wall-clock changes, reported per run
-// and in total on stderr. -rawcfg and -nomemo time the superblock/memo
-// ablations; they too leave every table byte-identical.
-// -cpuprofile/-memprofile write pprof profiles.
+// and in total on stderr. -sliceworkers bounds how many slices a single
+// -slices run analyzes concurrently (default GOMAXPROCS); the sliced table
+// too is byte-identical at any setting. -rawcfg and -nomemo time the
+// superblock/memo ablations; they likewise leave every table byte-identical.
+// -cpuprofile/-memprofile write pprof profiles; every engine run is labeled
+// with its suite, engine and (when sliced) slice, so `go tool pprof -tags`
+// attributes samples.
 //
 //	swiftbench -record DIR   record one live swift-async schedule per benchmark
 //	swiftbench -replay DIR   render the swift-async table by replaying DIR
@@ -45,6 +50,8 @@ func main() {
 		ablation   = flag.Bool("ablation", false, "run the re-summarization ablation")
 		verify     = flag.Bool("verify", false, "assert the paper's completion pattern holds")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent engine runs (1 = serial)")
+		slices     = flag.Bool("slices", false, "render the site-sliced vs monolithic cost table")
+		sliceWkrs  = flag.Int("sliceworkers", runtime.GOMAXPROCS(0), "max concurrent slices per -slices run (1 = serial)")
 		rawcfg     = flag.Bool("rawcfg", false, "run order-insensitive solvers on the uncompressed CFG view (A/B ablation; tables are identical, only timing changes)")
 		nomemo     = flag.Bool("nomemo", false, "disable the per-superedge transfer caches (A/B ablation)")
 		record     = flag.String("record", "", "record one live swift-async schedule per benchmark into this directory")
@@ -56,7 +63,7 @@ func main() {
 	)
 	flag.Parse()
 	if !*all && *tableN == 0 && *figureN == 0 && !*taint && !*ablation && !*verify &&
-		*record == "" && *replay == "" {
+		!*slices && *record == "" && *replay == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -109,6 +116,9 @@ func main() {
 	}
 	if *all || *figureN == 5 {
 		run("figure 5", func() error { return s.Figure5(os.Stdout, budget) })
+	}
+	if *all || *slices {
+		run("slices", func() error { return s.SlicedTable(os.Stdout, budget, *sliceWkrs) })
 	}
 	if *all || *taint {
 		run("taint", func() error { return s.TaintTable(os.Stdout, budget) })

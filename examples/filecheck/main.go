@@ -111,8 +111,12 @@ func main() {
 		sw.Elapsed.Round(time.Microsecond), sw.TDSummaryTotal(), sw.BUSummaryTotal(), len(sw.Triggered))
 
 	// Both engines must agree on the verdict (Theorem 3.1).
+	report, err := b.ErrorReport(sw)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nerror report (both engines agree):")
-	for _, site := range b.ErrorReport(sw) {
+	for _, site := range report {
 		fmt.Printf("  %s violates the %s protocol\n", site, b.Lowered.Track[site].Name)
 	}
 

@@ -68,7 +68,10 @@ func main() {
 	fmt.Printf("analyzed in %v: %d top-down summaries, %d bottom-up summaries\n",
 		res.Elapsed.Round(time.Microsecond), res.TDSummaryTotal(), res.BUSummaryTotal())
 
-	errs := b.ErrorReport(res)
+	errs, err := b.ErrorReport(res)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if len(errs) == 0 {
 		fmt.Println("no type-state errors")
 		return

@@ -13,8 +13,10 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -248,7 +250,13 @@ func (s *Suite) RunConfig(name, engine string, cfg core.Config) (*EngineRun, err
 	if err != nil {
 		return nil, err
 	}
-	res, err := b.Run(engine, cfg)
+	// Label the run for CPU profiles, so swiftbench -cpuprofile attributes
+	// samples per benchmark and engine (sliced runs additionally label each
+	// slice; see core.RunSliced).
+	var res *driver.Result
+	pprof.Do(context.Background(),
+		pprof.Labels("suite", name, "engine", engine),
+		func(context.Context) { res, err = b.Run(engine, cfg) })
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"swift/internal/driver"
+)
+
+func TestRunSlicedConfig(t *testing.T) {
+	s := smallSuite(2)
+	cfg := QuickBudget().config(5, 1)
+	cfg.SliceWorkers = 2
+	run, err := s.RunSlicedConfig("jpat-p", "swift", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed || run.Slices < 2 || run.Work <= 0 {
+		t.Errorf("sliced run = %+v", run)
+	}
+	if run.MaxWork >= run.Work {
+		t.Errorf("critical path (%d) should be under the total (%d) with %d slices",
+			run.MaxWork, run.Work, run.Slices)
+	}
+}
+
+// TestSlicedTableWorkerDeterminism is the harness half of the tentpole's
+// determinism claim: the rendered sliced table is byte-identical across
+// -sliceworkers settings.
+func TestSlicedTableWorkerDeterminism(t *testing.T) {
+	budget := QuickBudget()
+	var tables []string
+	for _, workers := range []int{1, 8} {
+		s := smallSuite(2)
+		var b strings.Builder
+		if err := s.SlicedTable(&b, budget, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		tables = append(tables, b.String())
+	}
+	if tables[0] != tables[1] {
+		t.Errorf("sliced table differs between 1 and 8 workers:\n--- 1:\n%s--- 8:\n%s",
+			tables[0], tables[1])
+	}
+	for _, want := range []string{"jpat-p", "elevator", "toba-s", "slices", "crit"} {
+		if !strings.Contains(tables[0], want) {
+			t.Errorf("sliced table missing %q:\n%s", want, tables[0])
+		}
+	}
+}
+
+// benchmarkSliced measures one full sliced swift run (fresh pipeline each
+// iteration, like the harness) at a fixed worker count; compare against
+// BenchmarkSlicedMonolithic for the state-space win and across worker
+// counts for the scaling curve.
+func benchmarkSliced(b *testing.B, workers int) {
+	s := NewSuite()
+	prog, err := s.Program("toba-s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := QuickBudget().config(5, 1)
+	cfg.SliceWorkers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd, err := driver.FromHIR(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := bd.RunSliced("swift", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed() {
+			b.Fatal(res.Err())
+		}
+	}
+}
+
+func BenchmarkSlicedWorkers1(b *testing.B) { benchmarkSliced(b, 1) }
+func BenchmarkSlicedWorkers2(b *testing.B) { benchmarkSliced(b, 2) }
+func BenchmarkSlicedWorkers4(b *testing.B) { benchmarkSliced(b, 4) }
+func BenchmarkSlicedWorkers8(b *testing.B) { benchmarkSliced(b, 8) }
+
+// BenchmarkSlicedMonolithic is the unsliced baseline of the same run.
+func BenchmarkSlicedMonolithic(b *testing.B) {
+	s := NewSuite()
+	prog, err := s.Program("toba-s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := QuickBudget().config(5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd, err := driver.FromHIR(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := bd.Run("swift", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed() {
+			b.Fatal(res.Err)
+		}
+	}
+}

@@ -217,6 +217,19 @@ type Config struct {
 	// over RecordTrace.
 	ReplayTrace *Trace
 
+	// SliceWorkers bounds how many slices RunSliced analyzes concurrently;
+	// zero or negative means GOMAXPROCS. Merged sliced results are
+	// independent of this setting — every slice runs on its own client
+	// instance and slices are aggregated in sorted slice order — so it is
+	// purely a wall-clock knob, like bench.Suite.Parallel.
+	SliceWorkers int
+
+	// ProfileLabel, when non-empty, is added as the "suite" pprof label to
+	// every slice run of RunSliced (alongside "engine" and "slice"), so
+	// CPU profiles attribute per-slice samples back to the caller's run
+	// name. It has no effect on analysis results.
+	ProfileLabel string
+
 	// Resummarize bounds how many times the hybrid driver may recompute a
 	// procedure's bottom-up summary after the pruning oracle mispredicted
 	// the dominant case. The paper's Algorithm 1 summarizes each procedure

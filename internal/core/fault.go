@@ -136,6 +136,25 @@ func (p *FaultPlan) OpCount() int64 { return p.n.Load() }
 // fresh run.
 func (p *FaultPlan) Reset() { p.n.Store(0) }
 
+// Fork returns a plan with the same schedule (Ops, periodic parameters and
+// TriggerBudget, all shared read-only) but a fresh operation counter, so
+// concurrent runs — one per slice in RunSliced — can each count their own
+// operation stream. Per-slice op indices therefore start at 0 in every
+// slice: an Ops entry for index k fires at the k-th client operation of
+// EACH slice, not of the merged run. Fork of nil is nil.
+func (p *FaultPlan) Fork() *FaultPlan {
+	if p == nil {
+		return nil
+	}
+	return &FaultPlan{
+		Ops:           p.Ops,
+		Every:         p.Every,
+		Seed:          p.Seed,
+		Kinds:         p.Kinds,
+		TriggerBudget: p.TriggerBudget,
+	}
+}
+
 // splitmix64 is the SplitMix64 finalizer; cheap, stateless, and good
 // enough to decorrelate consecutive operation indices.
 func splitmix64(x uint64) uint64 {

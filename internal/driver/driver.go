@@ -6,6 +6,7 @@ package driver
 
 import (
 	"fmt"
+	"sort"
 
 	"swift/internal/core"
 	"swift/internal/hir"
@@ -68,34 +69,73 @@ func FromHIR(prog *hir.Program) (*Build, error) {
 type Result = core.Result[typestate.AbsID, typestate.RelID, typestate.FormulaID]
 
 // Run executes the named engine ("td", "bu", "swift" or "swift-async")
-// with the given configuration, starting from the bootstrap state.
+// with the given configuration, starting from the bootstrap state. The
+// type-state client is a ConcurrentClient (sharded interners), so
+// swift-async needs no Synchronized wrapper.
 func (b *Build) Run(engine string, cfg core.Config) (*Result, error) {
-	init := b.TS.InitialState()
-	switch engine {
-	case "td":
-		cfg.K = core.Unlimited
-		return b.Core.RunTD(init, cfg), nil
-	case "bu":
-		cfg.Theta = core.Unlimited
-		return b.Core.RunBU(init, cfg), nil
-	case "swift":
-		return b.Core.RunSwift(init, cfg), nil
-	case "swift-async":
-		// The type-state client is a ConcurrentClient (sharded interners),
-		// so no Synchronized wrapper is needed.
-		return b.Core.RunSwiftAsync(init, cfg), nil
-	}
-	return nil, fmt.Errorf("driver: unknown engine %q (want td, bu, swift or swift-async)", engine)
+	return b.Core.RunEngine(engine, b.TS.InitialState(), cfg)
+}
+
+// SlicedResult is a site-sliced engine outcome (one Result per tracked
+// allocation site, in sorted site order).
+type SlicedResult = core.SlicedResult[typestate.AbsID, typestate.RelID, typestate.FormulaID]
+
+// RunSliced executes the named engine once per tracked allocation site on
+// a bounded worker pool (cfg.SliceWorkers), each slice on its own
+// independent type-state client. The merged report (SlicedErrorReport) and
+// all aggregated counters are independent of the worker count.
+func (b *Build) RunSliced(engine string, cfg core.Config) (*SlicedResult, error) {
+	return b.Core.RunSliced(engine, cfg)
 }
 
 // ErrorReport lists the allocation sites whose tracked objects may reach a
 // property error state anywhere in the program, per the engine result.
-func (b *Build) ErrorReport(res *Result) []string {
-	var states []typestate.AbsID
-	if res.TD != nil {
-		states = res.TD.AllStates()
+// Error states are absorbing, so they are visible in the instantiated
+// top-down states for every engine — including "bu", whose instantiation
+// pass fills res.TD. A result without instantiated states (the run aborted
+// before or during the bottom-up phase) has no report; that is an explicit
+// error here, not an empty report, since an empty report means "no misuse
+// found".
+func (b *Build) ErrorReport(res *Result) ([]string, error) {
+	if res.TD == nil {
+		if res.Err != nil {
+			return nil, fmt.Errorf("driver: %s run has no instantiated states to report on: %w", res.Engine, res.Err)
+		}
+		return nil, fmt.Errorf("driver: %s run has no instantiated states to report on", res.Engine)
 	}
-	return b.TS.ErrorSites(states)
+	return b.TS.ErrorSites(res.TD.AllStates()), nil
+}
+
+// SlicedErrorReport merges the per-slice error reports of a sliced run
+// into the monolithic report: the sorted union, in slice order, of each
+// slice's error sites. Per-slice abstract-state IDs live in the slice
+// client's own ID space, so each slice's states are interpreted by its own
+// client. Like ErrorReport, a slice without instantiated states is an
+// explicit error.
+func (b *Build) SlicedErrorReport(res *SlicedResult) ([]string, error) {
+	set := map[string]bool{}
+	for i := range res.Slices {
+		sl := &res.Slices[i]
+		ts, ok := sl.Client.(*typestate.Analysis)
+		if !ok {
+			return nil, fmt.Errorf("driver: slice %s has client %T, want *typestate.Analysis", sl.ID, sl.Client)
+		}
+		if sl.Result.TD == nil {
+			if sl.Result.Err != nil {
+				return nil, fmt.Errorf("driver: slice %s has no instantiated states to report on: %w", sl.ID, sl.Result.Err)
+			}
+			return nil, fmt.Errorf("driver: slice %s has no instantiated states to report on", sl.ID)
+		}
+		for _, site := range ts.ErrorSites(sl.Result.TD.AllStates()) {
+			set[site] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for site := range set {
+		out = append(out, site)
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // ProgramStats summarizes the lowered program.

@@ -104,7 +104,11 @@ func TestPipelineCleanProgram(t *testing.T) {
 		if !res.Completed() {
 			t.Fatalf("%s did not complete: %v", engine, res.Err)
 		}
-		if errs := b.ErrorReport(res); len(errs) != 0 {
+		errs, err := b.ErrorReport(res)
+		if err != nil {
+			t.Fatalf("%s: ErrorReport: %v", engine, err)
+		}
+		if len(errs) != 0 {
 			t.Errorf("%s: spurious errors %v", engine, errs)
 		}
 	}
@@ -125,7 +129,10 @@ func TestPipelineDetectsErrors(t *testing.T) {
 		if !res.Completed() {
 			t.Fatalf("%s did not complete: %v", engine, res.Err)
 		}
-		errs := b.ErrorReport(res)
+		errs, err := b.ErrorReport(res)
+		if err != nil {
+			t.Fatalf("%s: ErrorReport: %v", engine, err)
+		}
 		want := []string{"h1", "h2"}
 		if len(errs) != len(want) || errs[0] != want[0] || errs[1] != want[1] {
 			t.Errorf("%s: error sites = %v, want %v", engine, errs, want)
@@ -205,7 +212,10 @@ class Worker {
 	if err != nil || !res.Completed() {
 		t.Fatalf("td: %v / %v", err, res.Err)
 	}
-	errs := b.ErrorReport(res)
+	errs, err := b.ErrorReport(res)
+	if err != nil {
+		t.Fatalf("ErrorReport: %v", err)
+	}
 	if len(errs) != 1 || errs[0] != "h1" {
 		t.Errorf("expected the conservative alarm on h1, got %v", errs)
 	}

@@ -34,6 +34,12 @@ type Analysis struct {
 	initial  AbsID
 	emptySet SetID
 
+	// slice restricts fresh-tuple spawning to one allocation site: a
+	// negative value (the monolithic analysis) spawns at every tracked
+	// site, a non-negative value only at that site (see slice.go). The
+	// h=0 bootstrap flow is identical either way.
+	slice SiteID
+
 	// relation interning
 	rels  *interner[rel, rel]
 	idRel RelID
@@ -64,6 +70,7 @@ func NewAnalysis(prog *ir.Program, track map[string]*Property, oracle Oracle) (*
 	a := &Analysis{
 		prog:  prog,
 		track: track,
+		slice: -1,
 		tab: &tables{
 			paths:       newInterner[path, path](hashPath),
 			rootedOf:    map[string][]PathID{},
@@ -83,14 +90,46 @@ func NewAnalysis(prog *ir.Program, track map[string]*Property, oracle Oracle) (*
 	a.buildProperties()
 	a.buildUniverse()
 	a.buildOracle(oracle)
+	// The alias sets only ever track relevant paths: restrict the
+	// rooted/field indexes accordingly, so bookkeeping for irrelevant
+	// variables neither splits relational cases nor fragments abstract
+	// states. (The path universe itself is restricted in initMutable's
+	// univSet.)
+	for v, ids := range t.rootedOf {
+		t.rootedOf[v] = filterRelevant(t, ids)
+	}
+	for f, ids := range t.fieldOf {
+		t.fieldOf[f] = filterRelevant(t, ids)
+	}
+	a.initMutable()
+	return a, nil
+}
 
-	// Formula 0 is true; set 0 is empty.
+// initMutable seeds the instance's fresh mutable interners from the frozen
+// construction tables, in a fixed order. Slice clones (slice.go) replay
+// exactly this order into their own fresh interners, so every slice's
+// ground IDs — transformer 0/1, formula 0, set 0/1, abstract state 0,
+// relation 0 — coincide with a fresh monolithic pipeline's, which is what
+// makes per-slice results independent of scheduling.
+func (a *Analysis) initMutable() {
+	t := a.tab
+	// Identity and all-error transformers over the frozen state layout.
+	id := make([]GState, t.numG)
+	errv := make([]GState, t.numG)
+	for g := 0; g < t.numG; g++ {
+		id[g] = GState(g)
+		if pi := t.propOfG[g]; pi >= 0 {
+			errv[g] = t.propBase[pi] + GState(t.props[pi].Error)
+		} else {
+			errv[g] = GState(g)
+		}
+	}
+	t.idTrans = t.internTrans(id)
+	t.errTrans = t.internTrans(errv)
+
+	// Formula 0 is true; set 0 is empty; set 1 is the relevant universe.
 	t.internFormula(nil)
 	a.emptySet = t.internSet(nil)
-	// The alias sets only ever track relevant paths: restrict the universe
-	// and the rooted/field indexes accordingly, so bookkeeping for
-	// irrelevant variables neither splits relational cases nor fragments
-	// abstract states.
 	var all []PathID
 	for i := 0; i < t.numPaths(); i++ {
 		if t.relevant[i] {
@@ -98,12 +137,6 @@ func NewAnalysis(prog *ir.Program, track map[string]*Property, oracle Oracle) (*
 		}
 	}
 	t.univSet = t.internSet(all)
-	for v, ids := range t.rootedOf {
-		t.rootedOf[v] = filterRelevant(t, ids)
-	}
-	for f, ids := range t.fieldOf {
-		t.fieldOf[f] = filterRelevant(t, ids)
-	}
 
 	// The bootstrap abstract state: no object tracked yet, and nothing
 	// known must-not-alias the (nonexistent) object.
@@ -117,7 +150,15 @@ func NewAnalysis(prog *ir.Program, track map[string]*Property, oracle Oracle) (*
 		nK: t.coUniverse(), nG: a.emptySet,
 		pre: 0,
 	})
-	return a, nil
+}
+
+// spawnsAt reports whether an allocation at the site spawns a fresh
+// tracked tuple in this analysis instance: the site must be tracked, and a
+// slice instance additionally restricts spawning to its own site. Trans,
+// RTrans and CompileTrans all gate on it, so the three transfer forms stay
+// coherent (C1) within a slice.
+func (a *Analysis) spawnsAt(site SiteID) bool {
+	return a.tab.sitePropOf[site] >= 0 && (a.slice < 0 || a.slice == site)
 }
 
 // buildProperties lays out the global state space: None, then each tracked
@@ -147,19 +188,8 @@ func (a *Analysis) buildProperties() {
 			t.numG++
 		}
 	}
-	// Identity and all-error transformers.
-	id := make([]GState, t.numG)
-	errv := make([]GState, t.numG)
-	for g := 0; g < t.numG; g++ {
-		id[g] = GState(g)
-		if pi := t.propOfG[g]; pi >= 0 {
-			errv[g] = t.propBase[pi] + GState(props[pi].Error)
-		} else {
-			errv[g] = GState(g)
-		}
-	}
-	t.idTrans = t.internTrans(id)
-	t.errTrans = t.internTrans(errv)
+	// The identity and all-error transformers over this layout are
+	// interned per instance by initMutable.
 }
 
 // buildUniverse scans the program and interns the fixed path and site

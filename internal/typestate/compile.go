@@ -62,7 +62,7 @@ func (a *Analysis) compileTrans(c *ir.Prim) func(s AbsID, dst []AbsID) []AbsID {
 		vpRel := t.relevant[vp]
 		vpSet := t.internSet([]PathID{vp})
 		site := t.siteIDs[c.Site]
-		tracked := t.sitePropOf[site] >= 0
+		tracked := a.spawnsAt(site)
 		var fresh AbsID
 		if tracked {
 			// The fresh-object state is entirely state-independent.

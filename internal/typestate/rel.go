@@ -342,7 +342,7 @@ func (a *Analysis) RTrans(c *ir.Prim, r RelID) []RelID {
 			x.nG = t.setInsert(x.nG, vp)
 		}
 		out := []RelID{a.internRel(x)}
-		if site := t.siteIDs[c.Site]; t.sitePropOf[site] >= 0 {
+		if site := t.siteIDs[c.Site]; a.spawnsAt(site) {
 			fresh := absState{
 				h:  site,
 				t:  t.propBase[t.sitePropOf[site]],

@@ -40,7 +40,7 @@ func (a *Analysis) Trans(c *ir.Prim, s AbsID) []AbsID {
 			nc: nc,
 		}
 		out := []AbsID{t.internAbs(old)}
-		if site := t.siteIDs[c.Site]; t.sitePropOf[site] >= 0 {
+		if site := t.siteIDs[c.Site]; a.spawnsAt(site) {
 			// The fresh object is referenced only by v: every other path
 			// must-not-alias it (Fink et al.'s uniqueness).
 			fresh := absState{
