@@ -27,11 +27,20 @@
 // table bytes at any -parallel setting. -faultevery N (with -faultseed)
 // arms the chaos mode, injecting roughly one seeded client fault per N
 // operations into every run; aborted runs render as DNF cells.
+//
+//	swiftbench -warmbench -storedir DIR   cold-vs-warm summary-store benchmark
+//
+// -warmbench runs the hybrid engine twice over the suite against the
+// persistent summary store in -storedir (memory-only when empty) and
+// verifies the warm pass reuses every stored summary and reproduces the
+// cold pass's result tables byte for byte. Rerunning against the same
+// directory starts warm from disk — the CI smoke does exactly that.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -41,42 +50,75 @@ import (
 )
 
 func main() {
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cliMain is the whole CLI behind an exit code instead of os.Exit, so
+// every error path unwinds through the deferred cleanups (profile flush,
+// file close). Calling os.Exit from main's depths used to truncate
+// -cpuprofile output whenever a later step failed.
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("swiftbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		tableN     = flag.Int("table", 0, "render table 1–4")
-		figureN    = flag.Int("figure", 0, "render figure 5")
-		all        = flag.Bool("all", false, "render every table and figure")
-		quick      = flag.Bool("quick", false, "use reduced budgets (smoke run)")
-		taint      = flag.Bool("taint", false, "run the kill/gen taint client generality experiment")
-		ablation   = flag.Bool("ablation", false, "run the re-summarization ablation")
-		verify     = flag.Bool("verify", false, "assert the paper's completion pattern holds")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent engine runs (1 = serial)")
-		slices     = flag.Bool("slices", false, "render the site-sliced vs monolithic cost table")
-		sliceWkrs  = flag.Int("sliceworkers", runtime.GOMAXPROCS(0), "max concurrent slices per -slices run (1 = serial)")
-		rawcfg     = flag.Bool("rawcfg", false, "run order-insensitive solvers on the uncompressed CFG view (A/B ablation; tables are identical, only timing changes)")
-		nomemo     = flag.Bool("nomemo", false, "disable the per-superedge transfer caches (A/B ablation)")
-		record     = flag.String("record", "", "record one live swift-async schedule per benchmark into this directory")
-		replay     = flag.String("replay", "", "render the swift-async table by deterministically replaying the traces in this directory")
-		faultevery = flag.Int64("faultevery", 0, "chaos mode: inject roughly one seeded client fault per N operations into every run (0 = off)")
-		faultseed  = flag.Uint64("faultseed", 1, "seed for -faultevery's fault schedule")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		tableN     = fs.Int("table", 0, "render table 1–4")
+		figureN    = fs.Int("figure", 0, "render figure 5")
+		all        = fs.Bool("all", false, "render every table and figure")
+		quick      = fs.Bool("quick", false, "use reduced budgets (smoke run)")
+		taint      = fs.Bool("taint", false, "run the kill/gen taint client generality experiment")
+		ablation   = fs.Bool("ablation", false, "run the re-summarization ablation")
+		verify     = fs.Bool("verify", false, "assert the paper's completion pattern holds")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent engine runs (1 = serial)")
+		slices     = fs.Bool("slices", false, "render the site-sliced vs monolithic cost table")
+		sliceWkrs  = fs.Int("sliceworkers", runtime.GOMAXPROCS(0), "max concurrent slices per -slices run (1 = serial)")
+		rawcfg     = fs.Bool("rawcfg", false, "run order-insensitive solvers on the uncompressed CFG view (A/B ablation; tables are identical, only timing changes)")
+		nomemo     = fs.Bool("nomemo", false, "disable the per-superedge transfer caches (A/B ablation)")
+		record     = fs.String("record", "", "record one live swift-async schedule per benchmark into this directory")
+		replay     = fs.String("replay", "", "render the swift-async table by deterministically replaying the traces in this directory")
+		warmbench  = fs.Bool("warmbench", false, "run the cold-vs-warm summary-store benchmark")
+		storedir   = fs.String("storedir", "", "persistent store directory for -warmbench (empty = memory-only)")
+		faultevery = fs.Int64("faultevery", 0, "chaos mode: inject roughly one seeded client fault per N operations into every run (0 = off)")
+		faultseed  = fs.Uint64("faultseed", 1, "seed for -faultevery's fault schedule")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
-	if !*all && *tableN == 0 && *figureN == 0 && !*taint && !*ablation && !*verify &&
-		!*slices && *record == "" && *replay == "" {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	// Flag validation happens before any work: a request for a table or
+	// figure that does not exist is an error (exit 2 with usage), not a
+	// silent no-op run that exits 0 having rendered nothing.
+	if *tableN < 0 || *tableN > 4 {
+		fmt.Fprintf(stderr, "swiftbench: -table %d does not exist (tables are 1–4)\n", *tableN)
+		fs.Usage()
+		return 2
+	}
+	if *figureN != 0 && *figureN != 5 {
+		fmt.Fprintf(stderr, "swiftbench: -figure %d does not exist (the only figure is 5)\n", *figureN)
+		fs.Usage()
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "swiftbench: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	if *storedir != "" && !*warmbench {
+		fmt.Fprintf(stderr, "swiftbench: -storedir is only meaningful with -warmbench\n")
+		fs.Usage()
+		return 2
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "swiftbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "swiftbench: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "swiftbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "swiftbench: %v\n", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -90,64 +132,65 @@ func main() {
 	budget.FaultSeed = *faultseed
 	s := bench.NewSuite()
 	s.Parallel = *parallel
-	s.Telemetry = os.Stderr
+	s.Telemetry = stderr
+
+	type step struct {
+		name    string
+		enabled bool
+		fn      func() error
+	}
+	steps := []step{
+		{"table 1", *all || *tableN == 1, func() error { return s.Table1(stdout) }},
+		{"table 2", *all || *tableN == 2, func() error { return s.Table2(stdout, budget) }},
+		{"table 3", *all || *tableN == 3, func() error { return s.Table3(stdout, budget) }},
+		{"table 4", *all || *tableN == 4, func() error { return s.Table4(stdout, budget) }},
+		{"figure 5", *all || *figureN == 5, func() error { return s.Figure5(stdout, budget) }},
+		{"slices", *all || *slices, func() error { return s.SlicedTable(stdout, budget, *sliceWkrs) }},
+		{"taint", *all || *taint, func() error { return s.TaintTable(stdout, budget) }},
+		{"ablation", *all || *ablation, func() error { return s.AblationTable(stdout, budget) }},
+		{"verify", *verify, func() error { return s.Verify(stdout, budget) }},
+		{"warmbench", *warmbench, func() error { return s.WarmTable(stdout, budget, *storedir) }},
+		{"record", *record != "", func() error { return s.RecordAsync(*record, budget) }},
+		{"replay", *replay != "", func() error { return s.AsyncReplayTable(stdout, budget, *replay) }},
+	}
+	selected := false
+	for _, st := range steps {
+		selected = selected || st.enabled
+	}
+	if !selected {
+		fs.Usage()
+		return 2
+	}
+
 	start := time.Now()
-	run := func(name string, f func() error) {
-		stepStart := time.Now()
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "swiftbench: %s: %v\n", name, err)
-			os.Exit(1)
+	for _, st := range steps {
+		if !st.enabled {
+			continue
 		}
-		fmt.Fprintf(os.Stderr, "swiftbench: %s wall-clock %s (parallel=%d)\n",
-			name, time.Since(stepStart).Round(time.Millisecond), *parallel)
-		fmt.Println()
+		stepStart := time.Now()
+		if err := st.fn(); err != nil {
+			fmt.Fprintf(stderr, "swiftbench: %s: %v\n", st.name, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "swiftbench: %s wall-clock %s (parallel=%d)\n",
+			st.name, time.Since(stepStart).Round(time.Millisecond), *parallel)
+		fmt.Fprintln(stdout)
 	}
-	if *all || *tableN == 1 {
-		run("table 1", func() error { return s.Table1(os.Stdout) })
-	}
-	if *all || *tableN == 2 {
-		run("table 2", func() error { return s.Table2(os.Stdout, budget) })
-	}
-	if *all || *tableN == 3 {
-		run("table 3", func() error { return s.Table3(os.Stdout, budget) })
-	}
-	if *all || *tableN == 4 {
-		run("table 4", func() error { return s.Table4(os.Stdout, budget) })
-	}
-	if *all || *figureN == 5 {
-		run("figure 5", func() error { return s.Figure5(os.Stdout, budget) })
-	}
-	if *all || *slices {
-		run("slices", func() error { return s.SlicedTable(os.Stdout, budget, *sliceWkrs) })
-	}
-	if *all || *taint {
-		run("taint", func() error { return s.TaintTable(os.Stdout, budget) })
-	}
-	if *all || *ablation {
-		run("ablation", func() error { return s.AblationTable(os.Stdout, budget) })
-	}
-	if *verify {
-		run("verify", func() error { return s.Verify(os.Stdout, budget) })
-	}
-	if *record != "" {
-		run("record", func() error { return s.RecordAsync(*record, budget) })
-	}
-	if *replay != "" {
-		run("replay", func() error { return s.AsyncReplayTable(os.Stdout, budget, *replay) })
-	}
-	fmt.Fprintf(os.Stderr, "swiftbench: total wall-clock %s (parallel=%d)\n",
+	fmt.Fprintf(stderr, "swiftbench: total wall-clock %s (parallel=%d)\n",
 		time.Since(start).Round(time.Millisecond), *parallel)
+
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "swiftbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "swiftbench: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "swiftbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "swiftbench: %v\n", err)
+			return 1
 		}
 	}
+	return 0
 }

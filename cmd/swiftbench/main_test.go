@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := cliMain(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestFlagValidation pins the bugfix for silent no-op runs: a -table or
+// -figure that does not exist must exit 2 with a diagnostic and usage,
+// not exit 0 having rendered nothing.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"table too high", []string{"-table", "5"}, "-table 5 does not exist"},
+		{"table negative", []string{"-table", "-1"}, "-table -1 does not exist"},
+		{"figure wrong", []string{"-figure", "4"}, "-figure 4 does not exist"},
+		{"no selection", []string{"-quick"}, "Usage"},
+		{"stray args", []string{"-table", "1", "stray"}, "unexpected arguments"},
+		{"storedir without warmbench", []string{"-table", "1", "-storedir", "/tmp/x"}, "-storedir is only meaningful"},
+		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Errorf("exit = %d, want 2", code)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr %q does not contain %q", stderr, tc.want)
+			}
+			if !strings.Contains(stderr, "Usage of swiftbench") {
+				t.Errorf("stderr lacks usage text:\n%s", stderr)
+			}
+		})
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-table", "1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Table 1") {
+		t.Errorf("stdout lacks the table:\n%s", stdout)
+	}
+}
+
+// readGzipProfile fully decompresses a pprof file; a profile truncated
+// by a skipped pprof.StopCPUProfile fails here with unexpected EOF.
+func readGzipProfile(t *testing.T, path string) []byte {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("profile missing: %v", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("profile is not a gzip stream (flush skipped?): %v", err)
+	}
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("profile truncated: %v", err)
+	}
+	if err := zr.Close(); err != nil {
+		t.Fatalf("profile checksum: %v", err)
+	}
+	return data
+}
+
+// TestCPUProfileFlushedOnStepFailure pins the exit-path bugfix: when a
+// step fails after profiling started, the deferred StopCPUProfile and
+// Close must still run, leaving a complete, parseable profile. The old
+// os.Exit(1) path truncated it.
+func TestCPUProfileFlushedOnStepFailure(t *testing.T) {
+	profile := filepath.Join(t.TempDir(), "cpu.pprof")
+	code, _, stderr := runCLI(t,
+		"-quick", "-cpuprofile", profile,
+		"-replay", filepath.Join(t.TempDir(), "no-such-traces"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "replay") {
+		t.Errorf("stderr does not name the failing step:\n%s", stderr)
+	}
+	if len(readGzipProfile(t, profile)) == 0 {
+		t.Error("profile decompressed to zero bytes")
+	}
+}
+
+// TestCPUProfileFlushedOnMemprofileFailure covers the other broken exit
+// path: a failing -memprofile write must exit 1 and still leave the CPU
+// profile complete.
+func TestCPUProfileFlushedOnMemprofileFailure(t *testing.T) {
+	profile := filepath.Join(t.TempDir(), "cpu.pprof")
+	code, _, stderr := runCLI(t,
+		"-table", "1", "-cpuprofile", profile,
+		"-memprofile", filepath.Join(t.TempDir(), "no-such-dir", "heap.pprof"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	readGzipProfile(t, profile)
+}
+
+// TestWarmbenchFlag smokes the -warmbench step end to end on a real
+// store directory (full suite, quick budget, two passes inside the step).
+func TestWarmbenchFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full suite passes")
+	}
+	dir := t.TempDir()
+	code, stdout, stderr := runCLI(t, "-quick", "-warmbench", "-storedir", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "second pass restored 12/12") {
+		t.Errorf("warmbench summary missing:\n%s", stdout)
+	}
+}

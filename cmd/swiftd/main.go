@@ -1,0 +1,63 @@
+// Command swiftd is the analysis server: a long-lived JSON-over-HTTP
+// daemon that runs the type-state engines against a persistent summary
+// store, so repeated analyses of the same (or overlapping) programs are
+// answered from cache.
+//
+//	swiftd -addr 127.0.0.1:7411 -store /var/cache/swift
+//
+// Endpoints:
+//
+//	POST /analyze  {"source": "...", "engine": "swift", "k": 5, "theta": 1}
+//	GET  /stats    request and cache hit/miss/eviction counters
+//	GET  /healthz  liveness probe
+//
+// With -store "" the store is memory-only and dies with the process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"swift/internal/store"
+)
+
+func main() {
+	os.Exit(daemonMain(os.Args[1:]))
+}
+
+func daemonMain(args []string) int {
+	fs := flag.NewFlagSet("swiftd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7411", "listen address")
+	dir := fs.String("store", "", "on-disk store directory (empty: memory-only)")
+	mem := fs.Int64("mem", 64<<20, "in-memory cache budget in bytes (<=0 disables the memory tier)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(fs.Output(), "swiftd: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	st, err := store.Open(*dir, *mem)
+	if err != nil {
+		log.Printf("swiftd: opening store: %v", err)
+		return 1
+	}
+	srv := newServer(st)
+	log.Printf("swiftd: listening on %s (store: %s)", *addr, storeDesc(*dir))
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		log.Printf("swiftd: %v", err)
+		return 1
+	}
+	return 0
+}
+
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "memory-only"
+	}
+	return dir
+}

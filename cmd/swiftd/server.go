@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"swift/internal/core"
+	"swift/internal/driver"
+	"swift/internal/store"
+)
+
+// server is the swiftd request handler: a JSON-over-HTTP front end over
+// the persistent artifact store. Three cache layers cooperate on a
+// request: whole-response blobs (Kind "result"), per-trigger summaries
+// and intern-table snapshots (via driver.Warm). All are keyed by content
+// digests, so serving a cached response for a byte-identical program is
+// exact, not heuristic.
+type server struct {
+	store *store.Store
+
+	requests     atomic.Int64
+	resultHits   atomic.Int64
+	resultMisses atomic.Int64
+}
+
+// analyzeRequest is the POST /analyze body. Absent k/theta default to
+// core.DefaultConfig's thresholds; engine defaults to "swift".
+type analyzeRequest struct {
+	Source         string `json:"source"`
+	Engine         string `json:"engine"`
+	K              *int   `json:"k"`
+	Theta          *int   `json:"theta"`
+	RawCFG         bool   `json:"rawCFG"`
+	NoTransferMemo bool   `json:"noTransferMemo"`
+}
+
+// analyzeResponse is the POST /analyze reply.
+type analyzeResponse struct {
+	Engine string `json:"engine"`
+	// ErrorSites lists allocation sites whose tracked objects may reach a
+	// property error state; empty means no misuse found.
+	ErrorSites []string `json:"errorSites"`
+	// Err is non-empty when the engine aborted (budget exhaustion); the
+	// report is then unavailable rather than empty.
+	Err       string `json:"err,omitempty"`
+	Completed bool   `json:"completed"`
+	// Cached reports the response was served from the result cache without
+	// running any engine.
+	Cached bool `json:"cached"`
+	// TablesDigest fingerprints the deterministic result tables
+	// (driver.ResultTablesDigest), so clients can compare runs.
+	TablesDigest string `json:"tablesDigest,omitempty"`
+	// Warm-start telemetry of the run that produced this response.
+	RestoredTables bool  `json:"restoredTables"`
+	SummaryHits    int64 `json:"summaryHits"`
+	SummaryMisses  int64 `json:"summaryMisses"`
+	ElapsedMS      int64 `json:"elapsedMs"`
+}
+
+// statsResponse is the GET /stats reply.
+type statsResponse struct {
+	Requests     int64       `json:"requests"`
+	ResultHits   int64       `json:"resultHits"`
+	ResultMisses int64       `json:"resultMisses"`
+	Store        store.Stats `json:"store"`
+}
+
+func newServer(st *store.Store) *server { return &server{store: st} }
+
+// handler returns the routed HTTP handler.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+var validEngines = map[string]bool{"td": true, "bu": true, "swift": true, "swift-async": true}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.requests.Add(1)
+	var req analyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Engine == "" {
+		req.Engine = "swift"
+	}
+	if !validEngines[req.Engine] {
+		httpError(w, http.StatusBadRequest, "unknown engine %q (want td, bu, swift or swift-async)", req.Engine)
+		return
+	}
+	cfg := core.DefaultConfig()
+	if req.K != nil {
+		cfg.K = *req.K
+	}
+	if req.Theta != nil {
+		cfg.Theta = *req.Theta
+	}
+	cfg.RawCFG = req.RawCFG
+	cfg.NoTransferMemo = req.NoTransferMemo
+
+	// The build (parse → points-to → lower → client construction) always
+	// runs: the cache keys are content digests of the built pipeline.
+	b, err := driver.FromSource(req.Source)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "build failed: %v", err)
+		return
+	}
+
+	key := driver.ResultKey(b, req.Engine, cfg)
+	if blob, ok := s.store.Get(key); ok {
+		var resp analyzeResponse
+		if err := json.Unmarshal(blob, &resp); err == nil {
+			s.resultHits.Add(1)
+			resp.Cached = true
+			writeJSON(w, resp)
+			return
+		}
+		// Corrupt cached response: fall through and recompute.
+	}
+	s.resultMisses.Add(1)
+
+	start := time.Now()
+	res, wstats, err := driver.Warm{Store: s.store}.Run(b, req.Engine, cfg)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "run failed: %v", err)
+		return
+	}
+	resp := analyzeResponse{
+		Engine:         res.Engine,
+		Completed:      res.Completed(),
+		TablesDigest:   driver.ResultTablesDigest(b, res),
+		RestoredTables: wstats.RestoredTables,
+		SummaryHits:    wstats.SummaryHits,
+		SummaryMisses:  wstats.SummaryMisses,
+		ElapsedMS:      time.Since(start).Milliseconds(),
+	}
+	if res.Err != nil {
+		resp.Err = res.Err.Error()
+	} else {
+		sites, rerr := b.ErrorReport(res)
+		if rerr != nil {
+			httpError(w, http.StatusInternalServerError, "report failed: %v", rerr)
+			return
+		}
+		resp.ErrorSites = sites
+	}
+	// Cache only deterministic outcomes: reruns of a wall-clock timeout
+	// might succeed, so those must not be pinned.
+	if res.Err == nil || (errors.Is(res.Err, core.ErrBudget) && !errors.Is(res.Err, core.ErrDeadline)) {
+		if blob, merr := json.Marshal(resp); merr == nil {
+			s.store.Put(key, blob)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, statsResponse{
+		Requests:     s.requests.Load(),
+		ResultHits:   s.resultHits.Load(),
+		ResultMisses: s.resultMisses.Load(),
+		Store:        s.store.Stats(),
+	})
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"swift/internal/store"
+)
+
+const testProgram = `
+property File {
+  states closed opened error
+  error error
+  open: closed -> opened
+  close: opened -> closed
+  read: opened -> opened
+}
+
+class Main {
+  method main() {
+    w = new Worker @w1
+    a = new File @h1
+    b = new File @h2
+    w.doubleOpen(a)
+    w.ok(b)
+  }
+}
+
+class Worker {
+  method doubleOpen(f) { f.open(); f.open() }
+  method ok(f) { f.open(); f.close() }
+}
+`
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(st)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postAnalyze(t *testing.T, url string, req analyzeRequest) (analyzeResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out analyzeResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp.StatusCode
+}
+
+func getStats(t *testing.T, url string) statsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats status = %d", resp.StatusCode)
+	}
+	var out statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestAnalyzeRepeatHitsCache is the tentpole acceptance check at the HTTP
+// layer: the second identical request is served from the result cache,
+// with identical findings and tables digest.
+func TestAnalyzeRepeatHitsCache(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	first, code := postAnalyze(t, ts.URL, analyzeRequest{Source: testProgram})
+	if code != http.StatusOK {
+		t.Fatalf("first request status = %d", code)
+	}
+	if first.Cached {
+		t.Fatal("first request reported cached=true")
+	}
+	if len(first.ErrorSites) != 1 || first.ErrorSites[0] != "h1" {
+		t.Fatalf("error sites = %v, want [h1]", first.ErrorSites)
+	}
+	if first.TablesDigest == "" {
+		t.Fatal("first response missing tables digest")
+	}
+
+	second, code := postAnalyze(t, ts.URL, analyzeRequest{Source: testProgram})
+	if code != http.StatusOK {
+		t.Fatalf("second request status = %d", code)
+	}
+	if !second.Cached {
+		t.Fatal("second identical request was not served from cache")
+	}
+	if second.TablesDigest != first.TablesDigest {
+		t.Fatalf("cached tables digest %s != original %s", second.TablesDigest, first.TablesDigest)
+	}
+	if len(second.ErrorSites) != 1 || second.ErrorSites[0] != "h1" {
+		t.Fatalf("cached error sites = %v, want [h1]", second.ErrorSites)
+	}
+
+	stats := getStats(t, ts.URL)
+	if stats.Requests != 2 || stats.ResultHits != 1 || stats.ResultMisses != 1 {
+		t.Fatalf("stats = %+v, want 2 requests / 1 hit / 1 miss", stats)
+	}
+	if stats.Store.Puts == 0 {
+		t.Fatalf("store stats = %+v, expected puts from the first run", stats.Store)
+	}
+}
+
+// TestAnalyzeEngineAndConfigPartitionCache: different engines and
+// thresholds must not share result-cache entries, but identical settings
+// expressed differently (td ignores K) must.
+func TestAnalyzeEngineAndConfigPartitionCache(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	swift, _ := postAnalyze(t, ts.URL, analyzeRequest{Source: testProgram, Engine: "swift"})
+	td, _ := postAnalyze(t, ts.URL, analyzeRequest{Source: testProgram, Engine: "td"})
+	if swift.Cached || td.Cached {
+		t.Fatal("distinct engines shared a cache entry")
+	}
+	// td normalizes K away: a td request with any K hits the same entry.
+	k := 3
+	td2, _ := postAnalyze(t, ts.URL, analyzeRequest{Source: testProgram, Engine: "td", K: &k})
+	if !td2.Cached {
+		t.Fatal("td with explicit K missed; K should be normalized out of td keys")
+	}
+	// A different theta for swift is a different entry.
+	th := 7
+	sw2, _ := postAnalyze(t, ts.URL, analyzeRequest{Source: testProgram, Engine: "swift", Theta: &th})
+	if sw2.Cached {
+		t.Fatal("swift with different theta hit the default-theta entry")
+	}
+}
+
+func TestAnalyzeRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	if _, code := postAnalyze(t, ts.URL, analyzeRequest{Source: testProgram, Engine: "frobnicate"}); code != http.StatusBadRequest {
+		t.Errorf("bad engine status = %d, want 400", code)
+	}
+	if _, code := postAnalyze(t, ts.URL, analyzeRequest{Source: "class {"}); code != http.StatusUnprocessableEntity {
+		t.Errorf("unparsable source status = %d, want 422", code)
+	}
+	resp, err := http.Get(ts.URL + "/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /analyze status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+}
+
+// TestDaemonMainFlagErrors pins the CLI exit codes: bad flags and stray
+// arguments exit 2 without starting a server.
+func TestDaemonMainFlagErrors(t *testing.T) {
+	if got := daemonMain([]string{"-nonsense"}); got != 2 {
+		t.Errorf("bad flag exit = %d, want 2", got)
+	}
+	if got := daemonMain([]string{"stray"}); got != 2 {
+		t.Errorf("stray argument exit = %d, want 2", got)
+	}
+}

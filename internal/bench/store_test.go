@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+)
+
+// TestWarmTable exercises the cold-vs-warm benchmark on a subset of the
+// suite: the first invocation must report a cold first pass and a fully
+// restored second pass; a second invocation over the same directory (a
+// stand-in for the CI smoke's second process) must report every run as
+// restored, proving cross-process persistence through the disk tier.
+func TestWarmTable(t *testing.T) {
+	dir := t.TempDir()
+	budget := QuickBudget()
+
+	s := NewSuite()
+	s.Profiles = s.Profiles[:3]
+	var out bytes.Buffer
+	if err := s.WarmTable(&out, budget, dir); err != nil {
+		t.Fatalf("first WarmTable: %v\n%s", err, out.String())
+	}
+	if !regexp.MustCompile(`first pass restored 0/3, second pass restored 3/3`).Match(out.Bytes()) {
+		t.Fatalf("first invocation summary unexpected:\n%s", out.String())
+	}
+
+	// Fresh suite, same directory: only the disk tier connects them.
+	s2 := NewSuite()
+	s2.Profiles = s2.Profiles[:3]
+	var out2 bytes.Buffer
+	if err := s2.WarmTable(&out2, budget, dir); err != nil {
+		t.Fatalf("second WarmTable: %v\n%s", err, out2.String())
+	}
+	if !regexp.MustCompile(`first pass restored 3/3`).Match(out2.Bytes()) {
+		t.Fatalf("second invocation was not warm from disk:\n%s", out2.String())
+	}
+}
+
+// TestWarmTableRejectsFaultInjection: fault-armed runs bypass the store,
+// so the benchmark refuses the combination instead of silently measuring
+// nothing.
+func TestWarmTableRejectsFaultInjection(t *testing.T) {
+	s := NewSuite()
+	budget := QuickBudget()
+	budget.FaultEvery = 100
+	if err := s.WarmTable(&bytes.Buffer{}, budget, t.TempDir()); err == nil {
+		t.Fatal("WarmTable accepted a fault-armed budget")
+	}
+}

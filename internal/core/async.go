@@ -448,12 +448,30 @@ func (h *asyncHybrid[S, R, P]) tryTrigger(callee string, force bool) bool {
 	h.st.wg.Add(1)
 	go func() {
 		defer h.st.wg.Done()
+		// Warm-start is consulted inside the worker, not at the spawn site:
+		// a synchronous install in tryTrigger would record spawn and install
+		// at the same call event, violating the replay cursor's invariant
+		// that installs become visible at a later event than their spawn.
+		// The hit still flows through the completion queue like any other
+		// outcome, so recording, retries and abort handling are uniform.
+		if warm := h.a.Warm; warm != nil {
+			if out, ok := warm.Lookup(callee, frontier); ok {
+				c := asyncCompletion[S, R, P]{trigger: callee, frontier: frontier, eta: out.Eta}
+				if out.Failed {
+					c.eta = nil
+					c.err = errCachedBudget()
+				}
+				h.st.post(c)
+				return
+			}
+		}
 		var stats BUStats
 		// safeRunBU contains client panics inside the worker; whatever
 		// happens, exactly one completion is posted and Done is called, so
 		// the drain logic never deadlocks on a crashed worker.
 		eta, err := safeRunBU(h.client, h.a.Prog, h.config, h.config.Theta,
 			frontier, preEta, rank, &stats)
+		publishOutcome(h.a.Warm, callee, frontier, eta, err)
 		h.st.post(asyncCompletion[S, R, P]{
 			trigger: callee, frontier: frontier, eta: eta, stats: stats, err: err,
 		})
@@ -565,10 +583,26 @@ func (h *asyncHybrid[S, R, P]) replaySpawnsAt() {
 // identically).
 func (h *asyncHybrid[S, R, P]) replaySpawn(e TraceEvent) {
 	frontier := h.frontier(e.Trigger)
+	// Same warm-start seam as the live worker: a replayed spawn may be
+	// answered from the store, which is how a recorded cold run replays
+	// warm with byte-identical tables (the hit returns exactly what the
+	// recorded run computed and published).
+	if warm := h.a.Warm; warm != nil {
+		if out, ok := warm.Lookup(e.Trigger, frontier); ok {
+			c := asyncCompletion[S, R, P]{trigger: e.Trigger, frontier: frontier, eta: out.Eta}
+			if out.Failed {
+				c.eta = nil
+				c.err = errCachedBudget()
+			}
+			h.stash[e.Trigger] = c
+			return
+		}
+	}
 	var stats BUStats
 	eta, err := safeRunBU(h.client, h.a.Prog, h.config, h.config.Theta,
 		frontier, h.res.BU, h.res.TD.EntrySeen, &stats)
 	h.res.BUStats.add(stats)
+	publishOutcome(h.a.Warm, e.Trigger, frontier, eta, err)
 	h.stash[e.Trigger] = asyncCompletion[S, R, P]{
 		trigger: e.Trigger, frontier: frontier, eta: eta, err: err,
 	}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"sort"
+
+	"swift/internal/wire"
+)
+
+// This file gives the persistent store (internal/store, internal/driver)
+// codec access to the framework's result shapes whose representation is
+// unexported: RSet construction from decoded parts, and a versioned,
+// canonical encoding of TDResult tables. Canonical means independent of
+// map iteration order — procedures, entry contexts and states are written
+// sorted — so encoding the same tables twice, or re-encoding a decoded
+// copy, is byte-identical. State values S are translated through
+// caller-supplied enc/dec functions, since only the client knows what its
+// IDs mean (the typestate client's are dense interned int32s).
+
+const tdMagic = "SWTD1"
+
+// MakeRSet builds a summary-domain element from decoded parts,
+// canonicalizing both sets. It is the only way to construct an RSet
+// outside this package (the set representation is unexported on purpose —
+// the solvers rely on its invariants).
+func MakeRSet[R cmp.Ordered, P cmp.Ordered](rels []R, sigma []P) RSet[R, P] {
+	return RSet[R, P]{Rels: newSortedSet(rels), Sigma: newSortedSet(sigma)}
+}
+
+// RSetParts returns the relation and Sigma members of a summary, sorted.
+// The returned slices are the set's own storage; callers must not mutate
+// them.
+func RSetParts[R cmp.Ordered, P cmp.Ordered](x RSet[R, P]) (rels []R, sigma []P) {
+	return x.Rels, x.Sigma
+}
+
+// EncodeTDResult appends the canonical encoding of the top-down tables to
+// w: path edges, procedure summaries, incoming-state multisets and the
+// work counters. The unexported snapshot caches are derived state and are
+// not part of the encoding.
+func EncodeTDResult[S cmp.Ordered](w *wire.Writer, r *TDResult[S], enc func(S) int64) {
+	w.Raw([]byte(tdMagic))
+	w.Uint(uint64(len(r.PathEdges)))
+	for _, byIn := range r.PathEdges {
+		writeStateMap(w, byIn, enc)
+	}
+	procs := sortedKeys(r.Summaries)
+	w.Uint(uint64(len(procs)))
+	for _, name := range procs {
+		w.String(name)
+		writeStateMap(w, r.Summaries[name], enc)
+	}
+	procs = sortedKeys(r.EntrySeen)
+	w.Uint(uint64(len(procs)))
+	for _, name := range procs {
+		w.String(name)
+		m := r.EntrySeen[name]
+		states := make([]S, 0, len(m))
+		for s := range m {
+			states = append(states, s)
+		}
+		states = newSortedSet(states)
+		w.Uint(uint64(len(states)))
+		for _, s := range states {
+			w.Int(enc(s))
+			w.Int(int64(m[s]))
+		}
+	}
+	w.Int(int64(r.NumPathEdges))
+	w.Int(int64(r.NumSummaries))
+	w.Int(int64(r.Steps))
+}
+
+// writeStateMap encodes a context → state-set bucket map in sorted
+// context order.
+func writeStateMap[S cmp.Ordered](w *wire.Writer, m map[S]sortedSet[S], enc func(S) int64) {
+	ins := make([]S, 0, len(m))
+	for in := range m {
+		ins = append(ins, in)
+	}
+	ins = newSortedSet(ins)
+	w.Uint(uint64(len(ins)))
+	for _, in := range ins {
+		w.Int(enc(in))
+		outs := m[in]
+		w.Uint(uint64(len(outs)))
+		for _, s := range outs {
+			w.Int(enc(s))
+		}
+	}
+}
+
+// DecodeTDResult decodes an EncodeTDResult record. dec must reject values
+// that are not valid states (the store treats any error as a cache miss).
+// Decoded state sets are re-canonicalized, so a well-formed record decodes
+// into tables upholding the solver invariants regardless of how it was
+// produced.
+func DecodeTDResult[S cmp.Ordered](data []byte, dec func(int64) (S, error)) (*TDResult[S], error) {
+	r := wire.NewReader(data)
+	r.Expect(tdMagic)
+	res := &TDResult[S]{
+		Summaries: map[string]map[S]sortedSet[S]{},
+		EntrySeen: map[string]multiset[S]{},
+	}
+	nNodes := r.Len()
+	res.PathEdges = make([]map[S]sortedSet[S], 0, nNodes)
+	for i := 0; i < nNodes && r.Err() == nil; i++ {
+		m, err := readStateMap(r, dec)
+		if err != nil {
+			return nil, err
+		}
+		res.PathEdges = append(res.PathEdges, m)
+	}
+	nProcs := r.Len()
+	for i := 0; i < nProcs && r.Err() == nil; i++ {
+		name := r.String()
+		m, err := readStateMap(r, dec)
+		if err != nil {
+			return nil, err
+		}
+		res.Summaries[name] = m
+	}
+	nProcs = r.Len()
+	for i := 0; i < nProcs && r.Err() == nil; i++ {
+		name := r.String()
+		n := r.Len()
+		m := make(multiset[S], n)
+		for j := 0; j < n && r.Err() == nil; j++ {
+			s, err := decodeState(r, dec)
+			if err != nil {
+				return nil, err
+			}
+			count := r.Int()
+			if r.Err() == nil && count <= 0 {
+				return nil, fmt.Errorf("core: non-positive multiset count %d", count)
+			}
+			m[s] = int(count)
+		}
+		res.EntrySeen[name] = m
+	}
+	res.NumPathEdges = int(r.Int())
+	res.NumSummaries = int(r.Int())
+	res.Steps = int(r.Int())
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func readStateMap[S cmp.Ordered](r *wire.Reader, dec func(int64) (S, error)) (map[S]sortedSet[S], error) {
+	n := r.Len()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	m := make(map[S]sortedSet[S], n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		in, err := decodeState(r, dec)
+		if err != nil {
+			return nil, err
+		}
+		k := r.Len()
+		outs := make([]S, 0, k)
+		for j := 0; j < k && r.Err() == nil; j++ {
+			s, err := decodeState(r, dec)
+			if err != nil {
+				return nil, err
+			}
+			outs = append(outs, s)
+		}
+		m[in] = newSortedSet(outs)
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return m, nil
+}
+
+func decodeState[S cmp.Ordered](r *wire.Reader, dec func(int64) (S, error)) (S, error) {
+	v := r.Int()
+	if err := r.Err(); err != nil {
+		var zero S
+		return zero, err
+	}
+	return dec(v)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -121,10 +121,16 @@ func (b *Build) SlicedErrorReport(res *SlicedResult) ([]string, error) {
 			return nil, fmt.Errorf("driver: slice %s has client %T, want *typestate.Analysis", sl.ID, sl.Client)
 		}
 		if sl.Result.TD == nil {
+			// Distinguish an aborted slice from one that genuinely produced
+			// no states: a fault or budget abort is the real cause, and the
+			// report names it (with the slice's engine, like the monolithic
+			// path) instead of mislabeling it as an empty-state condition.
 			if sl.Result.Err != nil {
-				return nil, fmt.Errorf("driver: slice %s has no instantiated states to report on: %w", sl.ID, sl.Result.Err)
+				return nil, fmt.Errorf("driver: %s slice %s run aborted before instantiating states: %w",
+					sl.Result.Engine, sl.ID, sl.Result.Err)
 			}
-			return nil, fmt.Errorf("driver: slice %s has no instantiated states to report on", sl.ID)
+			return nil, fmt.Errorf("driver: %s slice %s has no instantiated states to report on",
+				sl.Result.Engine, sl.ID)
 		}
 		for _, site := range ts.ErrorSites(sl.Result.TD.AllStates()) {
 			set[site] = true

@@ -1,0 +1,244 @@
+// Package store implements the persistent artifact cache behind warm-start
+// analysis and the swiftd server: a content-addressed blob store with an
+// in-memory LRU tier over an on-disk tier.
+//
+// Entries are opaque byte blobs (the codecs live with the packages that
+// own the encoded types) addressed by a structured Key. The key is hashed
+// to a hex ID; the blob is stored in memory up to a byte budget and
+// always on disk (when a directory is configured) under
+// dir/<id[:2]>/<id>. Disk writes go through a temp file and rename, so a
+// crashed writer never leaves a torn entry — readers see the old blob or
+// the new one, nothing in between. Disk read errors and short/corrupt
+// files degrade to misses; the codecs validate content, the store only
+// moves bytes.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key identifies one cached artifact. Every field that can change the
+// artifact's bytes must be part of it: the engines' outputs depend on the
+// procedure bodies analyzed (Body: a closure hash), the client's frozen
+// construction (Frozen: property layout and may-alias oracle digest), the
+// engine and its thresholds, and the ablation knobs (they do not change
+// result tables, but keys stay distinct so stats remain attributable).
+type Key struct {
+	// Kind separates artifact namespaces: "summary" (one trigger outcome),
+	// "tables" (intern-table snapshot + TD tables of a full run), "result"
+	// (swiftd response blobs).
+	Kind string
+	// Proc is the trigger procedure ("" for whole-program artifacts).
+	Proc string
+	// Body is the hex digest of the procedure bodies the artifact depends
+	// on — the call-graph closure of Proc, or the whole program.
+	Body string
+	// Frozen is the client's frozen-construction digest
+	// (typestate.FrozenDigest).
+	Frozen string
+	// Engine, K and Theta pin the solver and its thresholds.
+	Engine string
+	K      int
+	Theta  int
+	// RawCFG and NoTransferMemo are the ablation knobs.
+	RawCFG         bool
+	NoTransferMemo bool
+}
+
+// ID returns the content address of the key: a hex SHA-256 over an
+// unambiguous (length-delimited) rendering of the fields.
+func (k Key) ID() string {
+	h := sha256.New()
+	for _, s := range []string{k.Kind, k.Proc, k.Body, k.Frozen, k.Engine} {
+		fmt.Fprintf(h, "%d:%s;", len(s), s)
+	}
+	fmt.Fprintf(h, "%d;%d;%t;%t", k.K, k.Theta, k.RawCFG, k.NoTransferMemo)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats are cumulative counters of one Store. Counters only increase;
+// read them via Store.Stats.
+type Stats struct {
+	MemHits    int64
+	MemMisses  int64 // memory-tier misses (includes those that then hit disk)
+	DiskHits   int64
+	DiskMisses int64
+	Puts       int64
+	Evictions  int64
+	DiskErrors int64
+}
+
+// Store is a two-tier blob cache, safe for concurrent use.
+type Store struct {
+	dir string // "" = memory-only
+
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	lru      *list.List               // front = most recent; values are *entry
+	entries  map[string]*list.Element // id → element
+	stats    Stats
+}
+
+// entry is one memory-tier resident blob.
+type entry struct {
+	id   string
+	blob []byte
+}
+
+// Open returns a store over dir (created if missing) holding at most
+// maxMemBytes in memory. An empty dir means memory-only; maxMemBytes <= 0
+// disables the memory tier.
+func Open(dir string, maxMemBytes int64) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{
+		dir:      dir,
+		maxBytes: maxMemBytes,
+		lru:      list.New(),
+		entries:  map[string]*list.Element{},
+	}, nil
+}
+
+// path returns the disk location of an id, fanned out by the first byte
+// so directories stay small.
+func (s *Store) path(id string) string {
+	return filepath.Join(s.dir, id[:2], id)
+}
+
+// Get returns the blob stored under key, or ok=false on a miss. The
+// returned slice must not be modified: the memory tier hands out its
+// resident copy.
+func (s *Store) Get(key Key) ([]byte, bool) {
+	id := key.ID()
+	s.mu.Lock()
+	if el, ok := s.entries[id]; ok {
+		s.lru.MoveToFront(el)
+		s.stats.MemHits++
+		blob := el.Value.(*entry).blob
+		s.mu.Unlock()
+		return blob, true
+	}
+	s.stats.MemMisses++
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		return nil, false
+	}
+	blob, err := os.ReadFile(s.path(id))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.stats.DiskMisses++
+		} else {
+			s.stats.DiskErrors++
+		}
+		return nil, false
+	}
+	s.stats.DiskHits++
+	s.installLocked(id, blob)
+	return blob, true
+}
+
+// Put stores blob under key in both tiers. The store keeps the slice;
+// callers must not modify it afterwards.
+func (s *Store) Put(key Key, blob []byte) {
+	id := key.ID()
+	s.mu.Lock()
+	s.stats.Puts++
+	s.installLocked(id, blob)
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		return
+	}
+	if err := s.writeFile(id, blob); err != nil {
+		s.mu.Lock()
+		s.stats.DiskErrors++
+		s.mu.Unlock()
+	}
+}
+
+// installLocked inserts or refreshes a memory-tier entry and evicts from
+// the LRU tail until the byte budget holds. Callers hold mu.
+func (s *Store) installLocked(id string, blob []byte) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	if el, ok := s.entries[id]; ok {
+		e := el.Value.(*entry)
+		s.curBytes += int64(len(blob)) - int64(len(e.blob))
+		e.blob = blob
+		s.lru.MoveToFront(el)
+	} else {
+		s.entries[id] = s.lru.PushFront(&entry{id: id, blob: blob})
+		s.curBytes += int64(len(blob))
+	}
+	for s.curBytes > s.maxBytes && s.lru.Len() > 1 {
+		el := s.lru.Back()
+		e := el.Value.(*entry)
+		s.lru.Remove(el)
+		delete(s.entries, e.id)
+		s.curBytes -= int64(len(e.blob))
+		s.stats.Evictions++
+	}
+}
+
+// writeFile persists a blob atomically: temp file in the target
+// directory, then rename.
+func (s *Store) writeFile(id string, blob []byte) error {
+	dir := filepath.Dir(s.path(id))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "put-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, s.path(id)); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// MemBytes returns the current memory-tier footprint (for tests).
+func (s *Store) MemBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.curBytes
+}
+
+// MemLen returns the number of memory-resident entries (for tests).
+func (s *Store) MemLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
