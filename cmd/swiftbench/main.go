@@ -35,6 +35,15 @@
 // verifies the warm pass reuses every stored summary and reproduces the
 // cold pass's result tables byte for byte. Rerunning against the same
 // directory starts warm from disk — the CI smoke does exactly that.
+//
+//	swiftbench -editbench [-editbenchmark NAME] [-edits N] [-editseed S]
+//
+// -editbench runs a deterministic edit stream (seeded single-procedure
+// mutations) over one benchmark, analyzing each program version cold and
+// incrementally against the store in -storedir, across all four engines.
+// It verifies that reverting the edit reproduces the base run's result
+// tables byte for byte under every engine and that the hybrid engine
+// answers triggers with untouched call-graph closures from the store.
 package main
 
 import (
@@ -76,7 +85,11 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		record     = fs.String("record", "", "record one live swift-async schedule per benchmark into this directory")
 		replay     = fs.String("replay", "", "render the swift-async table by deterministically replaying the traces in this directory")
 		warmbench  = fs.Bool("warmbench", false, "run the cold-vs-warm summary-store benchmark")
-		storedir   = fs.String("storedir", "", "persistent store directory for -warmbench (empty = memory-only)")
+		editbench  = fs.Bool("editbench", false, "run the edit-stream incremental re-analysis benchmark")
+		editBench  = fs.String("editbenchmark", "toba-s", "benchmark the -editbench edit stream mutates")
+		editN      = fs.Int("edits", 4, "number of edits in the -editbench stream")
+		editSeed   = fs.Int64("editseed", 7, "seed of the -editbench edit stream")
+		storedir   = fs.String("storedir", "", "persistent store directory for -warmbench/-editbench (empty = memory-only)")
 		faultevery = fs.Int64("faultevery", 0, "chaos mode: inject roughly one seeded client fault per N operations into every run (0 = off)")
 		faultseed  = fs.Uint64("faultseed", 1, "seed for -faultevery's fault schedule")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -103,8 +116,13 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if *storedir != "" && !*warmbench {
-		fmt.Fprintf(stderr, "swiftbench: -storedir is only meaningful with -warmbench\n")
+	if *storedir != "" && !*warmbench && !*editbench {
+		fmt.Fprintf(stderr, "swiftbench: -storedir is only meaningful with -warmbench or -editbench\n")
+		fs.Usage()
+		return 2
+	}
+	if *editN < 1 {
+		fmt.Fprintf(stderr, "swiftbench: -edits %d must be at least 1\n", *editN)
 		fs.Usage()
 		return 2
 	}
@@ -150,6 +168,9 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		{"ablation", *all || *ablation, func() error { return s.AblationTable(stdout, budget) }},
 		{"verify", *verify, func() error { return s.Verify(stdout, budget) }},
 		{"warmbench", *warmbench, func() error { return s.WarmTable(stdout, budget, *storedir) }},
+		{"editbench", *editbench, func() error {
+			return s.EditTable(stdout, budget, *storedir, *editBench, *editSeed, *editN)
+		}},
 		{"record", *record != "", func() error { return s.RecordAsync(*record, budget) }},
 		{"replay", *replay != "", func() error { return s.AsyncReplayTable(stdout, budget, *replay) }},
 	}

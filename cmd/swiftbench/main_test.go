@@ -32,6 +32,7 @@ func TestFlagValidation(t *testing.T) {
 		{"no selection", []string{"-quick"}, "Usage"},
 		{"stray args", []string{"-table", "1", "stray"}, "unexpected arguments"},
 		{"storedir without warmbench", []string{"-table", "1", "-storedir", "/tmp/x"}, "-storedir is only meaningful"},
+		{"edits below one", []string{"-editbench", "-edits", "0"}, "-edits 0 must be at least 1"},
 		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -130,5 +131,23 @@ func TestWarmbenchFlag(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "second pass restored 12/12") {
 		t.Errorf("warmbench summary missing:\n%s", stdout)
+	}
+}
+
+// TestEditbenchFlag smokes the -editbench step end to end: a short edit
+// stream on a small benchmark, store in a real directory, with the
+// harness's hard checks (revert byte-identity, hybrid summary reuse)
+// enforced inside the step.
+func TestEditbenchFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine edit stream")
+	}
+	code, stdout, stderr := runCLI(t, "-quick", "-editbench",
+		"-editbenchmark", "elevator", "-edits", "2", "-storedir", t.TempDir())
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "revert byte-identical under td/bu/swift/swift-async") {
+		t.Errorf("editbench summary missing:\n%s", stdout)
 	}
 }

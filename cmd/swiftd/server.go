@@ -22,9 +22,19 @@ import (
 type server struct {
 	store *store.Store
 
-	requests     atomic.Int64
-	resultHits   atomic.Int64
-	resultMisses atomic.Int64
+	requests      atomic.Int64
+	resultHits    atomic.Int64
+	resultMisses  atomic.Int64
+	resultCorrupt atomic.Int64
+
+	// Incremental telemetry: cumulative warm-path counters across every
+	// engine run, surfaced in /stats so repeated /analyze calls on
+	// successive program versions show how much the store reused.
+	restoredRuns   atomic.Int64
+	relaxedRuns    atomic.Int64
+	failedRestores atomic.Int64
+	summaryHits    atomic.Int64
+	summaryMisses  atomic.Int64
 }
 
 // analyzeRequest is the POST /analyze body. Absent k/theta default to
@@ -54,19 +64,36 @@ type analyzeResponse struct {
 	// TablesDigest fingerprints the deterministic result tables
 	// (driver.ResultTablesDigest), so clients can compare runs.
 	TablesDigest string `json:"tablesDigest,omitempty"`
-	// Warm-start telemetry of the run that produced this response.
+	// Warm-start telemetry of the run that produced this response. Relaxed
+	// means summaries were reused without a restored tables snapshot (same
+	// report, but tables need not be byte-identical to the cold run).
 	RestoredTables bool  `json:"restoredTables"`
+	Relaxed        bool  `json:"relaxed"`
 	SummaryHits    int64 `json:"summaryHits"`
 	SummaryMisses  int64 `json:"summaryMisses"`
 	ElapsedMS      int64 `json:"elapsedMs"`
 }
 
+// incrementalStats is the /stats incremental telemetry block.
+type incrementalStats struct {
+	// RestoredRuns counts runs that restored a tables snapshot
+	// (byte-identity mode); RelaxedRuns counts runs with summary reuse but
+	// no snapshot; FailedRestores counts corrupt snapshots dropped.
+	RestoredRuns   int64 `json:"restoredRuns"`
+	RelaxedRuns    int64 `json:"relaxedRuns"`
+	FailedRestores int64 `json:"failedRestores"`
+	SummaryHits    int64 `json:"summaryHits"`
+	SummaryMisses  int64 `json:"summaryMisses"`
+}
+
 // statsResponse is the GET /stats reply.
 type statsResponse struct {
-	Requests     int64       `json:"requests"`
-	ResultHits   int64       `json:"resultHits"`
-	ResultMisses int64       `json:"resultMisses"`
-	Store        store.Stats `json:"store"`
+	Requests      int64            `json:"requests"`
+	ResultHits    int64            `json:"resultHits"`
+	ResultMisses  int64            `json:"resultMisses"`
+	ResultCorrupt int64            `json:"resultCorrupt"`
+	Incremental   incrementalStats `json:"incremental"`
+	Store         store.Stats      `json:"store"`
 }
 
 func newServer(st *store.Store) *server { return &server{store: st} }
@@ -140,7 +167,12 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, resp)
 			return
 		}
-		// Corrupt cached response: fall through and recompute.
+		// Corrupt cached response: drop it and recompute. Without the
+		// delete, a rerun that ends in a wall-clock timeout (which never
+		// publishes) would leave the garbage blob in place, making every
+		// subsequent request pay a failed unmarshal plus a full rerun.
+		s.store.Delete(key)
+		s.resultCorrupt.Add(1)
 	}
 	s.resultMisses.Add(1)
 
@@ -150,11 +182,23 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "run failed: %v", err)
 		return
 	}
+	if wstats.RestoredTables {
+		s.restoredRuns.Add(1)
+	}
+	if wstats.Relaxed {
+		s.relaxedRuns.Add(1)
+	}
+	if wstats.RestoreFailed {
+		s.failedRestores.Add(1)
+	}
+	s.summaryHits.Add(wstats.SummaryHits)
+	s.summaryMisses.Add(wstats.SummaryMisses)
 	resp := analyzeResponse{
 		Engine:         res.Engine,
 		Completed:      res.Completed(),
 		TablesDigest:   driver.ResultTablesDigest(b, res),
 		RestoredTables: wstats.RestoredTables,
+		Relaxed:        wstats.Relaxed,
 		SummaryHits:    wstats.SummaryHits,
 		SummaryMisses:  wstats.SummaryMisses,
 		ElapsedMS:      time.Since(start).Milliseconds(),
@@ -185,9 +229,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, statsResponse{
-		Requests:     s.requests.Load(),
-		ResultHits:   s.resultHits.Load(),
-		ResultMisses: s.resultMisses.Load(),
-		Store:        s.store.Stats(),
+		Requests:      s.requests.Load(),
+		ResultHits:    s.resultHits.Load(),
+		ResultMisses:  s.resultMisses.Load(),
+		ResultCorrupt: s.resultCorrupt.Load(),
+		Incremental: incrementalStats{
+			RestoredRuns:   s.restoredRuns.Load(),
+			RelaxedRuns:    s.relaxedRuns.Load(),
+			FailedRestores: s.failedRestores.Load(),
+			SummaryHits:    s.summaryHits.Load(),
+			SummaryMisses:  s.summaryMisses.Load(),
+		},
+		Store: s.store.Stats(),
 	})
 }

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"swift/internal/core"
+	"swift/internal/driver"
 	"swift/internal/store"
 )
 
@@ -180,6 +182,152 @@ func TestHealthz(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+}
+
+// TestCorruptResultCacheDropped: a corrupt cached response must be
+// deleted and counted, and the recompute must repopulate the entry so
+// the next identical request hits again.
+func TestCorruptResultCacheDropped(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	if _, code := postAnalyze(t, ts.URL, analyzeRequest{Source: testProgram}); code != http.StatusOK {
+		t.Fatalf("first request status = %d", code)
+	}
+	b, err := driver.FromSource(testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := driver.ResultKey(b, "swift", core.DefaultConfig())
+	srv.store.Put(key, []byte("not json"))
+
+	second, code := postAnalyze(t, ts.URL, analyzeRequest{Source: testProgram})
+	if code != http.StatusOK {
+		t.Fatalf("post-corruption request status = %d", code)
+	}
+	if second.Cached {
+		t.Fatal("corrupt entry was served as a cache hit")
+	}
+	if len(second.ErrorSites) != 1 || second.ErrorSites[0] != "h1" {
+		t.Fatalf("recomputed error sites = %v, want [h1]", second.ErrorSites)
+	}
+
+	third, _ := postAnalyze(t, ts.URL, analyzeRequest{Source: testProgram})
+	if !third.Cached {
+		t.Fatal("recompute did not replace the corrupt entry")
+	}
+	stats := getStats(t, ts.URL)
+	if stats.ResultCorrupt != 1 {
+		t.Errorf("resultCorrupt = %d, want 1", stats.ResultCorrupt)
+	}
+	if stats.Store.Deletes == 0 {
+		t.Errorf("store stats = %+v, want a delete of the corrupt blob", stats.Store)
+	}
+}
+
+// incTestProgramV1/V2 are two versions of one program: V2 adds a
+// redundant g.read() inside Worker.other. The edit adds no variables, no
+// allocation sites and no points-to flows, so the client's frozen
+// construction is unchanged and Worker.use — whose call-graph closure
+// does not contain Worker.other — keeps its summary-store key across
+// versions. Worker.use is invoked in two distinct states (closed, then
+// opened), so it triggers run_bu at K=1.
+const incTestProgramV1 = `
+property File {
+  states closed opened error
+  error error
+  open: closed -> opened
+  close: opened -> closed
+  read: opened -> opened
+}
+
+class Main {
+  method main() {
+    w = new Worker @w1
+    a = new File @h1
+    w.use(a)
+    a.open()
+    w.use(a)
+    b = new File @h2
+    w.other(b)
+  }
+}
+
+class Worker {
+  method use(f) { f.read() }
+  method other(g) { g.open(); g.close() }
+}
+`
+
+const incTestProgramV2 = `
+property File {
+  states closed opened error
+  error error
+  open: closed -> opened
+  close: opened -> closed
+  read: opened -> opened
+}
+
+class Main {
+  method main() {
+    w = new Worker @w1
+    a = new File @h1
+    w.use(a)
+    a.open()
+    w.use(a)
+    b = new File @h2
+    w.other(b)
+  }
+}
+
+class Worker {
+  method use(f) { f.read() }
+  method other(g) { g.open(); g.read(); g.close() }
+}
+`
+
+// TestIncrementalTelemetryAcrossVersions: analyzing an edited program
+// version reuses the untouched procedure's summary (relaxed mode — no
+// tables snapshot for the new program digest) and the /stats incremental
+// block records it.
+func TestIncrementalTelemetryAcrossVersions(t *testing.T) {
+	_, ts := newTestServer(t)
+	one := 1
+
+	first, code := postAnalyze(t, ts.URL, analyzeRequest{Source: incTestProgramV1, Engine: "swift", K: &one})
+	if code != http.StatusOK {
+		t.Fatalf("v1 status = %d", code)
+	}
+	if first.SummaryMisses == 0 {
+		t.Fatal("v1 run triggered no run_bu; the fixture no longer exercises summaries")
+	}
+	if first.SummaryHits != 0 {
+		t.Fatalf("v1 run on an empty store reported %d summary hits", first.SummaryHits)
+	}
+
+	second, code := postAnalyze(t, ts.URL, analyzeRequest{Source: incTestProgramV2, Engine: "swift", K: &one})
+	if code != http.StatusOK {
+		t.Fatalf("v2 status = %d", code)
+	}
+	if second.Cached {
+		t.Fatal("v2 hit the whole-response cache despite a different program digest")
+	}
+	if second.SummaryHits == 0 {
+		t.Fatal("v2 run reused no summaries; want a hit for the untouched closure")
+	}
+	if second.RestoredTables {
+		t.Fatal("v2 restored tables despite a different program digest")
+	}
+	if !second.Relaxed {
+		t.Fatal("v2 summary reuse without tables restore not reported as relaxed")
+	}
+
+	stats := getStats(t, ts.URL)
+	if stats.Incremental.SummaryHits == 0 || stats.Incremental.RelaxedRuns == 0 {
+		t.Errorf("incremental stats = %+v, want nonzero summaryHits and relaxedRuns", stats.Incremental)
+	}
+	if stats.Incremental.FailedRestores != 0 {
+		t.Errorf("incremental stats = %+v, want no failed restores", stats.Incremental)
 	}
 }
 

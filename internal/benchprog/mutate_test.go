@@ -1,0 +1,180 @@
+package benchprog
+
+import (
+	"strings"
+	"testing"
+
+	"swift/internal/hir"
+)
+
+// editProfile is a small but structurally complete profile for mutation
+// tests: several utility layers, cross-calls (so EditRemoveCall has
+// targets) and a dispatch registry.
+func editProfile() Profile {
+	p, ok := ProfileByName("toba-s")
+	if !ok {
+		panic("toba-s profile missing")
+	}
+	return p
+}
+
+// TestEditStreamDeterministic: the same (profile, seed, n) yields the
+// same edits, and applying an edit to a fresh base program yields the
+// same program bytes, run after run.
+func TestEditStreamDeterministic(t *testing.T) {
+	p := editProfile()
+	first, err := EditStream(p, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := EditStream(p, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 8 {
+		t.Fatalf("stream has %d edits, want 8", len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("edit %d differs across runs: %v vs %v", i, first[i], second[i])
+		}
+	}
+	for _, e := range first {
+		a, err := GenerateEdited(p, e)
+		if err != nil {
+			t.Fatalf("apply %v: %v", e, err)
+		}
+		b, err := GenerateEdited(p, e)
+		if err != nil {
+			t.Fatalf("re-apply %v: %v", e, err)
+		}
+		if hir.Print(a) != hir.Print(b) {
+			t.Fatalf("edit %v applied twice produced different programs", e)
+		}
+	}
+}
+
+// TestEditStreamSeedsDiverge: different seeds pick different targets
+// somewhere in a long enough stream.
+func TestEditStreamSeedsDiverge(t *testing.T) {
+	p := editProfile()
+	a, err := EditStream(p, 1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EditStream(p, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 12-edit streams")
+	}
+}
+
+// TestEditStreamCoversKinds: one cycle of the stream exercises every
+// edit kind on a profile that offers targets for all of them.
+func TestEditStreamCoversKinds(t *testing.T) {
+	edits, err := EditStream(editProfile(), 3, int(numEditKinds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[EditKind]bool{}
+	for _, e := range edits {
+		seen[e.Kind] = true
+	}
+	for k := EditKind(0); k < numEditKinds; k++ {
+		if !seen[k] {
+			t.Errorf("stream of %d edits never used kind %v", len(edits), k)
+		}
+	}
+}
+
+// TestEditsChangeTheProgram: every edit kind actually changes the program
+// text, and only the expected procedure's body for the closure-preserving
+// kinds.
+func TestEditsChangeTheProgram(t *testing.T) {
+	p := editProfile()
+	base, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePrint := hir.Print(base)
+	edits, err := EditStream(p, 3, int(numEditKinds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edits {
+		mutated, err := GenerateEdited(p, e)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if hir.Print(mutated) == basePrint {
+			t.Errorf("%v left the program unchanged", e)
+		}
+		if err := mutated.Validate(); err != nil {
+			t.Errorf("%v produced an invalid program: %v", e, err)
+		}
+	}
+}
+
+// TestEditRenameRewires: after a rename, no rewirable call site still
+// dispatches the old name on the renamed class, and the renamed method
+// exists.
+func TestEditRenameRewires(t *testing.T) {
+	p := editProfile()
+	edits, err := EditStream(p, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ren *Edit
+	for i := range edits {
+		if edits[i].Kind == EditRename {
+			ren = &edits[i]
+			break
+		}
+	}
+	if ren == nil {
+		t.Fatal("no rename edit in stream")
+	}
+	mutated, err := GenerateEdited(p, *ren)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := mutated.Class(ren.Class)
+	if cls.Method(ren.Method) != nil {
+		t.Errorf("old method %s.%s still declared", ren.Class, ren.Method)
+	}
+	if cls.Method(ren.Method+renamedSuffix) == nil {
+		t.Errorf("renamed method %s.%s%s missing", ren.Class, ren.Method, renamedSuffix)
+	}
+	// Sibling this-calls in the renamed class must have been rewired.
+	for _, m := range cls.Methods {
+		blk, _ := findLastCallIdx(m.Body, func(cs *hir.CallStmt) bool {
+			return cs.Recv == "" && cs.Method == ren.Method
+		})
+		if blk != nil {
+			t.Errorf("method %s.%s still this-calls the old name %s", ren.Class, m.Name, ren.Method)
+		}
+	}
+}
+
+// TestEditStreamRejectsBarrenProfile: a degenerate profile with no
+// targets is an explicit error, not an infinite loop.
+func TestEditStreamRejectsBarrenProfile(t *testing.T) {
+	p := Profile{
+		Name: "barren", Seed: 1,
+		Utils: 0, AppClasses: 0, MethodsPerClass: 0, PoolFiles: 2,
+	}
+	if _, err := EditStream(p, 1, 1); err == nil {
+		t.Fatal("barren profile produced an edit stream")
+	} else if !strings.Contains(err.Error(), "no edit targets") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

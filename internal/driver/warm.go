@@ -60,6 +60,17 @@ type WarmStats struct {
 	// PublishedTables reports that this run's tables were snapshotted into
 	// the store for future warm starts.
 	PublishedTables bool
+	// RestoreFailed reports that a stored tables snapshot was found but
+	// failed to restore (corrupt or mismatched blob). The pipeline may hold
+	// partially replayed interners after a replay-phase failure, so such a
+	// run never publishes its tables; the corrupt snapshot is deleted so a
+	// later fresh run can re-publish a good one.
+	RestoreFailed bool
+	// Relaxed reports summary-level reuse without a restored tables
+	// snapshot: sound, same error report, but decoded components intern to
+	// fresh IDs, so result tables need not be byte-identical to the cold
+	// run that published the summaries.
+	Relaxed bool
 	// SummaryHits and SummaryMisses count run_bu invocations answered from
 	// the store versus computed (and, when deterministic, published).
 	SummaryHits   int64
@@ -214,6 +225,9 @@ func (w Warm) Run(b *Build, engine string, cfg core.Config) (*Result, *WarmStats
 		if blob, ok := w.Store.Get(tablesKey); ok {
 			if err := b.TS.RestoreTables(blob); err == nil {
 				stats.RestoredTables = true
+			} else {
+				stats.RestoreFailed = true
+				w.Store.Delete(tablesKey)
 			}
 		}
 	}
@@ -225,15 +239,17 @@ func (w Warm) Run(b *Build, engine string, cfg core.Config) (*Result, *WarmStats
 	res, err := b.Run(engine, cfg)
 	stats.SummaryHits = src.hits.Load()
 	stats.SummaryMisses = src.misses.Load()
+	stats.Relaxed = stats.SummaryHits > 0 && !stats.RestoredTables
 	if err != nil {
 		return res, stats, err
 	}
 
 	// Snapshot the finished run's tables for the next cold start. Gated on
 	// a fresh start (a polluted pipeline's tables would not reproduce a
-	// cold run) and a deterministic outcome; re-publishing after a restore
-	// is skipped — the stored snapshot already equals these tables.
-	if wasFresh && !stats.RestoredTables && deterministicOutcome(res.Err) {
+	// cold run — and a failed restore may have polluted it), and a
+	// deterministic outcome; re-publishing after a restore is skipped —
+	// the stored snapshot already equals these tables.
+	if wasFresh && !stats.RestoredTables && !stats.RestoreFailed && deterministicOutcome(res.Err) {
 		w.Store.Put(tablesKey, b.TS.EncodeTables())
 		stats.PublishedTables = true
 	}

@@ -116,6 +116,21 @@ func (c *Class) AddMethod(m *Method) {
 // Method returns the directly declared method with the given name, or nil.
 func (c *Class) Method(name string) *Method { return c.methodByName[name] }
 
+// RenameMethod renames a directly declared method, keeping the lookup
+// index consistent. It reports whether the rename happened: the old name
+// must exist and the new name must be free. Call sites are not rewritten;
+// callers that dispatch on the old name must be rewired separately.
+func (c *Class) RenameMethod(old, new string) bool {
+	m := c.methodByName[old]
+	if m == nil || old == new || c.methodByName[new] != nil {
+		return false
+	}
+	m.Name = new
+	delete(c.methodByName, old)
+	c.methodByName[new] = m
+	return true
+}
+
 // Method is an instance method. The entry method is the only static one.
 type Method struct {
 	Name   string

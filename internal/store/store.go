@@ -70,6 +70,7 @@ type Stats struct {
 	DiskHits   int64
 	DiskMisses int64
 	Puts       int64
+	Deletes    int64
 	Evictions  int64
 	DiskErrors int64
 }
@@ -170,7 +171,10 @@ func (s *Store) Put(key Key, blob []byte) {
 }
 
 // installLocked inserts or refreshes a memory-tier entry and evicts from
-// the LRU tail until the byte budget holds. Callers hold mu.
+// the LRU tail until the byte budget holds. A blob larger than the whole
+// budget is evicted too — even freshly installed — so the documented
+// "at most maxMemBytes in memory" bound always holds; the disk tier
+// still serves oversized blobs. Callers hold mu.
 func (s *Store) installLocked(id string, blob []byte) {
 	if s.maxBytes <= 0 {
 		return
@@ -184,13 +188,39 @@ func (s *Store) installLocked(id string, blob []byte) {
 		s.entries[id] = s.lru.PushFront(&entry{id: id, blob: blob})
 		s.curBytes += int64(len(blob))
 	}
-	for s.curBytes > s.maxBytes && s.lru.Len() > 1 {
+	for s.curBytes > s.maxBytes && s.lru.Len() > 0 {
 		el := s.lru.Back()
 		e := el.Value.(*entry)
 		s.lru.Remove(el)
 		delete(s.entries, e.id)
 		s.curBytes -= int64(len(e.blob))
 		s.stats.Evictions++
+	}
+}
+
+// Delete removes the entry stored under key from both tiers. Deleting an
+// absent key is a no-op. Callers use it to drop blobs whose content
+// failed validation (a corrupt snapshot or cached response), so the next
+// request misses cleanly instead of re-failing on the same bytes forever.
+func (s *Store) Delete(key Key) {
+	id := key.ID()
+	s.mu.Lock()
+	if el, ok := s.entries[id]; ok {
+		e := el.Value.(*entry)
+		s.lru.Remove(el)
+		delete(s.entries, id)
+		s.curBytes -= int64(len(e.blob))
+	}
+	s.stats.Deletes++
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		return
+	}
+	if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
+		s.mu.Lock()
+		s.stats.DiskErrors++
+		s.mu.Unlock()
 	}
 }
 

@@ -95,13 +95,62 @@ func TestLRUEviction(t *testing.T) {
 	if s.MemBytes() > 10 {
 		t.Errorf("mem bytes = %d over budget", s.MemBytes())
 	}
-	// An oversized blob still installs (the tier keeps at least one entry).
-	s.Put(k("x", "huge"), make([]byte, 100))
-	if s.MemLen() != 1 {
-		t.Errorf("after oversized put, mem len = %d, want 1", s.MemLen())
+}
+
+// TestOversizedBlobNotResident: a blob larger than the whole memory
+// budget must not stay resident (it would pin the tier over budget
+// forever); with a disk tier it is still served from disk.
+func TestOversizedBlobNotResident(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 10)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, ok := s.Get(k("x", "huge")); !ok {
-		t.Error("oversized entry not resident")
+	s.Put(k("x", "small"), []byte("aaaaa"))
+	s.Put(k("x", "huge"), make([]byte, 100))
+	if s.MemBytes() > 10 {
+		t.Errorf("mem bytes = %d, over the 10-byte budget", s.MemBytes())
+	}
+	if blob, ok := s.Get(k("x", "huge")); !ok || len(blob) != 100 {
+		t.Fatalf("disk tier did not serve the oversized blob: %d bytes, %v", len(blob), ok)
+	}
+	// The disk-hit promotion attempt must not leave it resident either.
+	if s.MemBytes() > 10 {
+		t.Errorf("mem bytes = %d after promotion, over budget", s.MemBytes())
+	}
+
+	// Memory-only store: the oversized blob is simply not cached.
+	m, err := Open("", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Put(k("x", "huge"), make([]byte, 100))
+	if m.MemLen() != 0 || m.MemBytes() != 0 {
+		t.Errorf("memory-only store kept oversized blob: len=%d bytes=%d", m.MemLen(), m.MemBytes())
+	}
+}
+
+// TestDelete removes an entry from both tiers and tolerates absent keys.
+func TestDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := k("result", "p")
+	s.Put(key, []byte("cached"))
+	s.Delete(key)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("deleted entry still served")
+	}
+	if _, err := os.Stat(filepath.Join(dir, key.ID()[:2], key.ID())); !os.IsNotExist(err) {
+		t.Errorf("disk file survived delete: %v", err)
+	}
+	// Deleting an absent key is a no-op, not an error.
+	s.Delete(k("result", "absent"))
+	st := s.Stats()
+	if st.Deletes != 2 || st.DiskErrors != 0 {
+		t.Errorf("stats = %+v, want 2 deletes and no disk errors", st)
 	}
 }
 
