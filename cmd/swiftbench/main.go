@@ -44,6 +44,16 @@
 // It verifies that reverting the edit reproduces the base run's result
 // tables byte for byte under every engine and that the hybrid engine
 // answers triggers with untouched call-graph closures from the store.
+//
+//	swiftbench -querybench [-querybenchmark NAME] [-queries N] [-queryseed S] [-querykinds K,K]
+//
+// -querybench runs the demand-vs-exhaustive experiment: one exhaustive run
+// per benchmark and engine, then a seeded stream of randomized point
+// queries answered through the demand-driven query engine with a fresh
+// slice memo, reporting the stream's aggregate demand cost, slice-memo hit
+// rate and the break-even query count against the exhaustive cost. Every
+// isError answer is checked against the exhaustive error report on the
+// fly.
 package main
 
 import (
@@ -53,10 +63,24 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"swift/internal/bench"
+	"swift/internal/query"
 )
+
+// splitNonEmpty splits a comma-separated list, dropping empty items, so an
+// empty flag value means "default" rather than one empty kind.
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
 
 func main() {
 	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
@@ -89,6 +113,11 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		editBench  = fs.String("editbenchmark", "toba-s", "benchmark the -editbench edit stream mutates")
 		editN      = fs.Int("edits", 4, "number of edits in the -editbench stream")
 		editSeed   = fs.Int64("editseed", 7, "seed of the -editbench edit stream")
+		querybench = fs.Bool("querybench", false, "run the demand-vs-exhaustive point-query benchmark")
+		queryN     = fs.Int("queries", 2000, "number of seeded queries per -querybench stream")
+		querySeed  = fs.Int64("queryseed", 1, "seed of the -querybench query stream")
+		queryKinds = fs.String("querykinds", "", "comma-separated query kinds for -querybench (default: all of canReach,statesAt,isError)")
+		queryBench = fs.String("querybenchmark", "", "restrict -querybench to one benchmark (default: full suite)")
 		storedir   = fs.String("storedir", "", "persistent store directory for -warmbench/-editbench (empty = memory-only)")
 		faultevery = fs.Int64("faultevery", 0, "chaos mode: inject roughly one seeded client fault per N operations into every run (0 = off)")
 		faultseed  = fs.Uint64("faultseed", 1, "seed for -faultevery's fault schedule")
@@ -123,6 +152,30 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *editN < 1 {
 		fmt.Fprintf(stderr, "swiftbench: -edits %d must be at least 1\n", *editN)
+		fs.Usage()
+		return 2
+	}
+	// The query flags only mean something under -querybench: silently
+	// ignoring them would run a different experiment than the user asked
+	// for. Explicitly-set flags are detected via Visit, so passing the
+	// default value by hand is still an error.
+	querySet := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { querySet[f.Name] = true })
+	for _, name := range []string{"queries", "queryseed", "querykinds", "querybenchmark"} {
+		if querySet[name] && !*querybench {
+			fmt.Fprintf(stderr, "swiftbench: -%s is only meaningful with -querybench\n", name)
+			fs.Usage()
+			return 2
+		}
+	}
+	if *queryN < 1 {
+		fmt.Fprintf(stderr, "swiftbench: -queries %d must be at least 1\n", *queryN)
+		fs.Usage()
+		return 2
+	}
+	kinds, err := query.ParseKinds(splitNonEmpty(*queryKinds))
+	if err != nil {
+		fmt.Fprintf(stderr, "swiftbench: -querykinds: %v\n", err)
 		fs.Usage()
 		return 2
 	}
@@ -170,6 +223,9 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		{"warmbench", *warmbench, func() error { return s.WarmTable(stdout, budget, *storedir) }},
 		{"editbench", *editbench, func() error {
 			return s.EditTable(stdout, budget, *storedir, *editBench, *editSeed, *editN)
+		}},
+		{"querybench", *querybench, func() error {
+			return s.QueryBenchTable(stdout, budget, *queryBench, *queryN, *querySeed, kinds, *sliceWkrs)
 		}},
 		{"record", *record != "", func() error { return s.RecordAsync(*record, budget) }},
 		{"replay", *replay != "", func() error { return s.AsyncReplayTable(stdout, budget, *replay) }},

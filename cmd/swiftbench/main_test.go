@@ -34,6 +34,13 @@ func TestFlagValidation(t *testing.T) {
 		{"storedir without warmbench", []string{"-table", "1", "-storedir", "/tmp/x"}, "-storedir is only meaningful"},
 		{"edits below one", []string{"-editbench", "-edits", "0"}, "-edits 0 must be at least 1"},
 		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+		{"queries without querybench", []string{"-table", "1", "-queries", "10"}, "-queries is only meaningful"},
+		{"queryseed without querybench", []string{"-table", "1", "-queryseed", "3"}, "-queryseed is only meaningful"},
+		{"querykinds without querybench", []string{"-table", "1", "-querykinds", "isError"}, "-querykinds is only meaningful"},
+		{"querybenchmark without querybench", []string{"-table", "1", "-querybenchmark", "elevator"}, "-querybenchmark is only meaningful"},
+		{"queries zero", []string{"-querybench", "-queries", "0"}, "-queries 0 must be at least 1"},
+		{"queries negative", []string{"-querybench", "-queries", "-5"}, "-queries -5 must be at least 1"},
+		{"unknown query kind", []string{"-querybench", "-querykinds", "canReach,reaches"}, `unknown query kind "reaches"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -131,6 +138,26 @@ func TestWarmbenchFlag(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "second pass restored 12/12") {
 		t.Errorf("warmbench summary missing:\n%s", stdout)
+	}
+}
+
+// TestQuerybenchFlag smokes the -querybench step end to end on a small
+// benchmark: all four engines, the table renders, and the break-even
+// column is populated (the exhaustive runs complete under -quick on
+// elevator, so a uniformly random stream must cross the exhaustive cost).
+func TestQuerybenchFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four exhaustive runs plus query streams")
+	}
+	code, stdout, stderr := runCLI(t, "-quick", "-querybench",
+		"-querybenchmark", "elevator", "-queries", "100", "-queryseed", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"Querybench:", "break-even", "elevator", "swift-async"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("querybench output lacks %q:\n%s", want, stdout)
+		}
 	}
 }
 

@@ -8,7 +8,11 @@
 // Endpoints:
 //
 //	POST /analyze  {"source": "...", "engine": "swift", "k": 5, "theta": 1}
-//	GET  /stats    request and cache hit/miss/eviction counters
+//	POST /query    {"source": "...", "query": {"kind": "isError", "site": "h1"}}
+//	               (or "queries": [...] for a batch) — demand-driven point
+//	               queries answered from per-site slice runs memoized in a
+//	               process-wide slice cache, instead of exhaustive runs
+//	GET  /stats    request, cache and query telemetry counters
 //	GET  /healthz  liveness probe
 //
 // With -store "" the store is memory-only and dies with the process.

@@ -22,10 +22,25 @@ import (
 type server struct {
 	store *store.Store
 
+	// sliceMemo is the in-process slice-table cache behind /query, shared
+	// across requests and program versions (its keys carry the program
+	// digests, so cross-version reuse is impossible by construction).
+	sliceMemo *driver.SliceMemo
+
 	requests      atomic.Int64
 	resultHits    atomic.Int64
 	resultMisses  atomic.Int64
 	resultCorrupt atomic.Int64
+
+	// /query telemetry (see queryStats).
+	queryBatches      atomic.Int64
+	queriesServed     atomic.Int64
+	queryMaxBatch     atomic.Int64
+	queryCanReach     atomic.Int64
+	queryStatesAt     atomic.Int64
+	queryIsError      atomic.Int64
+	queryResultHits   atomic.Int64
+	queryResultMisses atomic.Int64
 
 	// Incremental telemetry: cumulative warm-path counters across every
 	// engine run, surfaced in /stats so repeated /analyze calls on
@@ -93,15 +108,19 @@ type statsResponse struct {
 	ResultMisses  int64            `json:"resultMisses"`
 	ResultCorrupt int64            `json:"resultCorrupt"`
 	Incremental   incrementalStats `json:"incremental"`
+	Query         queryStats       `json:"query"`
 	Store         store.Stats      `json:"store"`
 }
 
-func newServer(st *store.Store) *server { return &server{store: st} }
+func newServer(st *store.Store) *server {
+	return &server{store: st, sliceMemo: driver.NewSliceMemo(0)}
+}
 
 // handler returns the routed HTTP handler.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -159,22 +178,14 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := driver.ResultKey(b, req.Engine, cfg)
-	if blob, ok := s.store.Get(key); ok {
+	{
 		var resp analyzeResponse
-		if err := json.Unmarshal(blob, &resp); err == nil {
-			s.resultHits.Add(1)
+		if s.lookupResult(key, &resp, &s.resultHits, &s.resultMisses) {
 			resp.Cached = true
 			writeJSON(w, resp)
 			return
 		}
-		// Corrupt cached response: drop it and recompute. Without the
-		// delete, a rerun that ends in a wall-clock timeout (which never
-		// publishes) would leave the garbage blob in place, making every
-		// subsequent request pay a failed unmarshal plus a full rerun.
-		s.store.Delete(key)
-		s.resultCorrupt.Add(1)
 	}
-	s.resultMisses.Add(1)
 
 	start := time.Now()
 	res, wstats, err := driver.Warm{Store: s.store}.Run(b, req.Engine, cfg)
@@ -223,6 +234,25 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// lookupResult fetches and decodes a cached response blob, counting the
+// outcome. A blob that fails to decode is corrupt: it is deleted and
+// counted (resultCorrupt) so the caller recomputes once instead of every
+// subsequent request paying a failed unmarshal. Without the delete, a
+// rerun that ends in a wall-clock timeout (which never publishes) would
+// leave the garbage blob in place forever. Shared by /analyze and /query.
+func (s *server) lookupResult(key store.Key, out any, hits, misses *atomic.Int64) bool {
+	if blob, ok := s.store.Get(key); ok {
+		if err := json.Unmarshal(blob, out); err == nil {
+			hits.Add(1)
+			return true
+		}
+		s.store.Delete(key)
+		s.resultCorrupt.Add(1)
+	}
+	misses.Add(1)
+	return false
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
@@ -240,6 +270,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			SummaryHits:    s.summaryHits.Load(),
 			SummaryMisses:  s.summaryMisses.Load(),
 		},
+		Query: s.queryStatsSnapshot(),
 		Store: s.store.Stats(),
 	})
 }

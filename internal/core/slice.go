@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -205,6 +206,21 @@ func (a *Analysis[S, R, P]) RunSliced(engine string, config Config) (*SlicedResu
 	if !ok {
 		return nil, fmt.Errorf("core: client %T does not support slicing", a.Client)
 	}
+	return a.RunSliceSet(engine, config, sc.Slices())
+}
+
+// RunSliceSet is RunSliced restricted to a subset of the client's slices:
+// the demand-driven hook behind point queries, which name one slice (or a
+// few) instead of wanting the whole decomposition. The ids are sorted and
+// deduplicated before dispatch, so the result order — and, per slice,
+// every byte of the outcome (fresh per-slice interners; see the file
+// comment) — is independent of both the caller's order and the worker
+// count. Unknown slice IDs surface as SliceClient dispatch errors.
+func (a *Analysis[S, R, P]) RunSliceSet(engine string, config Config, subset []SliceID) (*SlicedResult[S, R, P], error) {
+	sc, ok := any(a.Client).(SliceableClient[S, R, P])
+	if !ok {
+		return nil, fmt.Errorf("core: client %T does not support slicing", a.Client)
+	}
 	// Build the traversal views the engine will use on this goroutine,
 	// before any worker can race to build them lazily. Views are immutable
 	// once built, so the slice runs share them freely.
@@ -216,8 +232,9 @@ func (a *Analysis[S, R, P]) RunSliced(engine string, config Config) (*SlicedResu
 	default:
 		return nil, fmt.Errorf("core: unknown engine %q (want td, bu, swift or swift-async)", engine)
 	}
-	ids := append([]SliceID(nil), sc.Slices()...)
+	ids := append([]SliceID(nil), subset...)
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids = slices.Compact(ids)
 
 	start := time.Now()
 	out := &SlicedResult[S, R, P]{

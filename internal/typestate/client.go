@@ -417,6 +417,48 @@ func (a *Analysis) StateName(s AbsID) string {
 	return "none"
 }
 
+// TrackedSites returns the sorted labels of every tracked allocation site
+// appearing in the program — exactly the slice universe of Slices(), minus
+// the degenerate "<none>" bootstrap slice of untracked programs. Query
+// validation and seeded query generation both draw from it.
+func (a *Analysis) TrackedSites() []string {
+	t := a.tab
+	var out []string
+	for sid := 1; sid < len(t.sites); sid++ {
+		if t.sitePropOf[sid] >= 0 {
+			out = append(out, t.sites[sid])
+		}
+	}
+	return out
+}
+
+// SiteStates returns the FSM state names of the property tracking the
+// site, in the property's own state order (index 0 is the initial state).
+// Untracked and unknown sites are errors: they have no property states.
+func (a *Analysis) SiteStates(site string) ([]string, error) {
+	t := a.tab
+	sid, ok := t.siteIDs[site]
+	if !ok {
+		return nil, fmt.Errorf("typestate: unknown site %q", site)
+	}
+	pi := t.sitePropOf[sid]
+	if pi < 0 {
+		return nil, fmt.Errorf("typestate: site %q is untracked and has no property states", site)
+	}
+	return append([]string(nil), t.props[pi].States...), nil
+}
+
+// SiteErrorState returns the error-state name of the property tracking the
+// site.
+func (a *Analysis) SiteErrorState(site string) (string, error) {
+	states, err := a.SiteStates(site)
+	if err != nil {
+		return "", err
+	}
+	sid := a.tab.siteIDs[site]
+	return states[a.tab.props[a.tab.sitePropOf[sid]].Error], nil
+}
+
 // ErrorSites returns the sorted distinct site labels among error states.
 func (a *Analysis) ErrorSites(states []AbsID) []string {
 	set := map[string]bool{}
