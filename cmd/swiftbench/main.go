@@ -118,7 +118,9 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		querySeed  = fs.Int64("queryseed", 1, "seed of the -querybench query stream")
 		queryKinds = fs.String("querykinds", "", "comma-separated query kinds for -querybench (default: all of canReach,statesAt,isError)")
 		queryBench = fs.String("querybenchmark", "", "restrict -querybench to one benchmark (default: full suite)")
-		storedir   = fs.String("storedir", "", "persistent store directory for -warmbench/-editbench (empty = memory-only)")
+		soak        = fs.Bool("soak", false, "run the swiftd concurrent-load soak smoke (coalescing, shedding, cancellation, drain)")
+		soakClients = fs.Int("soakclients", 0, "concurrent clients in the -soak coalesce wave (0 = default)")
+		storedir    = fs.String("storedir", "", "persistent store directory for -warmbench/-editbench (empty = memory-only)")
 		faultevery = fs.Int64("faultevery", 0, "chaos mode: inject roughly one seeded client fault per N operations into every run (0 = off)")
 		faultseed  = fs.Uint64("faultseed", 1, "seed for -faultevery's fault schedule")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -147,6 +149,16 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *storedir != "" && !*warmbench && !*editbench {
 		fmt.Fprintf(stderr, "swiftbench: -storedir is only meaningful with -warmbench or -editbench\n")
+		fs.Usage()
+		return 2
+	}
+	if *soakClients != 0 && !*soak {
+		fmt.Fprintf(stderr, "swiftbench: -soakclients is only meaningful with -soak\n")
+		fs.Usage()
+		return 2
+	}
+	if *soakClients != 0 && *soakClients < 2 {
+		fmt.Fprintf(stderr, "swiftbench: -soakclients %d must be at least 2\n", *soakClients)
 		fs.Usage()
 		return 2
 	}
@@ -226,6 +238,16 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		}},
 		{"querybench", *querybench, func() error {
 			return s.QueryBenchTable(stdout, budget, *queryBench, *queryN, *querySeed, kinds, *sliceWkrs)
+		}},
+		{"soak", *soak, func() error {
+			soakCfg := bench.DefaultSoakConfig()
+			if *quick {
+				soakCfg = bench.QuickSoakConfig()
+			}
+			if *soakClients != 0 {
+				soakCfg.Clients = *soakClients
+			}
+			return bench.Soak(stdout, soakCfg)
 		}},
 		{"record", *record != "", func() error { return s.RecordAsync(*record, budget) }},
 		{"replay", *replay != "", func() error { return s.AsyncReplayTable(stdout, budget, *replay) }},

@@ -41,6 +41,8 @@ func TestFlagValidation(t *testing.T) {
 		{"queries zero", []string{"-querybench", "-queries", "0"}, "-queries 0 must be at least 1"},
 		{"queries negative", []string{"-querybench", "-queries", "-5"}, "-queries -5 must be at least 1"},
 		{"unknown query kind", []string{"-querybench", "-querykinds", "canReach,reaches"}, `unknown query kind "reaches"`},
+		{"soakclients without soak", []string{"-table", "1", "-soakclients", "4"}, "-soakclients is only meaningful"},
+		{"soakclients below two", []string{"-soak", "-soakclients", "1"}, "-soakclients 1 must be at least 2"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -138,6 +140,26 @@ func TestWarmbenchFlag(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "second pass restored 12/12") {
 		t.Errorf("warmbench summary missing:\n%s", stdout)
+	}
+}
+
+// TestSoakFlag smokes the -soak step end to end: the in-process server
+// must pass all four robustness phases.
+func TestSoakFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a server and runs concurrent engine runs")
+	}
+	code, stdout, stderr := runCLI(t, "-quick", "-soak", "-soakclients", "3")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	for _, phase := range []string{"soak: coalesce", "soak: cancel", "soak: shed", "soak: drain", "soak: ok"} {
+		if !strings.Contains(stdout, phase) {
+			t.Errorf("soak output missing %q:\n%s", phase, stdout)
+		}
+	}
+	if !strings.Contains(stdout, "engineRuns=1") {
+		t.Errorf("coalesce phase did not report exactly one engine run:\n%s", stdout)
 	}
 }
 

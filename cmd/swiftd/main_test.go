@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"swift/internal/store"
+)
+
+// TestDaemonMainFlagErrors pins the CLI exit codes: bad flags, stray
+// arguments and out-of-range values exit 2 without starting a server.
+func TestDaemonMainFlagErrors(t *testing.T) {
+	if got := daemonMain([]string{"-nonsense"}); got != 2 {
+		t.Errorf("bad flag exit = %d, want 2", got)
+	}
+	if got := daemonMain([]string{"stray"}); got != 2 {
+		t.Errorf("stray argument exit = %d, want 2", got)
+	}
+	if got := daemonMain([]string{"-maxbody", "0"}); got != 2 {
+		t.Errorf("zero -maxbody exit = %d, want 2", got)
+	}
+	if got := daemonMain([]string{"-drain", "-1s"}); got != 2 {
+		t.Errorf("negative -drain exit = %d, want 2", got)
+	}
+}
+
+// shutdownProgram builds a program variant whose /analyze run takes on
+// the order of a second (a deep chain of loop-and-branch methods keeps
+// the fixpoint busy), with a version marker so each variant misses
+// every cache.
+func shutdownProgram(variant int) string {
+	const depth, width = 40, 20
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `
+property File {
+  states closed opened error
+  error error
+  open: closed -> opened
+  close: opened -> closed
+  read: opened -> opened
+}
+
+class Main {
+  method main() {
+    v%d = new File @v%d
+    w = new Worker @w1
+    f = new File @h1
+    f.open()
+    w.m0(f)
+    f.close()
+  }
+}
+
+class Worker {
+`, variant, variant)
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&sb, "  method m%d(f) {\n    while (*) {\n", i)
+		for j := 0; j < width; j++ {
+			sb.WriteString("      if (*) { f.read() } else { f.open(); f.close(); f.open() }\n")
+		}
+		if i+1 < depth {
+			fmt.Fprintf(&sb, "      this.m%d(f)\n", i+1)
+		}
+		sb.WriteString("    }\n  }\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// checkNoLeakedGoroutines waits for the goroutine count to settle back
+// to the baseline (same pattern as the core fault tests).
+func checkNoLeakedGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShutdownUnderLoad floods a live daemon with /analyze traffic,
+// SIGTERMs it mid-flight, and asserts the drain contract: exit 0, every
+// client gets a response or a clean connection error, no goroutines
+// leak, no torn temp files remain in the store directory, and the store
+// reopens healthy with the blobs the completed runs published.
+func TestShutdownUnderLoad(t *testing.T) {
+	// Prime the os/signal runtime loop (a permanent singleton started by
+	// the first Notify) so it doesn't read as a leaked goroutine.
+	prime := make(chan os.Signal, 1)
+	signal.Notify(prime, syscall.SIGHUP)
+	signal.Stop(prime)
+
+	before := runtime.NumGoroutine()
+	dir := t.TempDir()
+
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- daemonRun([]string{
+			"-addr", "127.0.0.1:0",
+			"-store", dir,
+			"-quiet",
+			"-maxinflight", "2",
+			"-maxqueue", "8",
+			"-drain", "300ms",
+		}, func(addr string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+	base := "http://" + addr
+
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr}
+
+	// One request completes fully before the flood, so the reopened
+	// store is guaranteed to hold at least one published blob.
+	body, _ := json.Marshal(map[string]string{"source": shutdownProgram(0)})
+	resp, err := client.Post(base+"/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("warmup request: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup status = %d", resp.StatusCode)
+	}
+
+	// Flood: distinct program variants so every request is a fresh
+	// engine run, keeping work in flight when the signal lands.
+	var wg sync.WaitGroup
+	for i := 1; i <= 12; i++ {
+		wg.Add(1)
+		go func(variant int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]string{"source": shutdownProgram(variant)})
+			resp, err := client.Post(base+"/analyze", "application/json", bytes.NewReader(body))
+			if err != nil {
+				// Connection errors are legal once the listener closes.
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			default:
+				t.Errorf("flood request %d: unexpected status %d", variant, resp.StatusCode)
+			}
+		}(i)
+	}
+
+	time.Sleep(100 * time.Millisecond) // let the flood reach the engines
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exit = %d, want 0", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	wg.Wait()
+
+	// The atomic-write discipline must hold through the shutdown: no
+	// abandoned temp files in the store directory.
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), "put-") {
+			t.Errorf("torn store blob left behind: %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The store reopens and still serves what the completed runs put.
+	st, err := store.Open(dir, 1<<20)
+	if err != nil {
+		t.Fatalf("reopening store: %v", err)
+	}
+	if err := st.Probe(); err != nil {
+		t.Fatalf("reopened store unhealthy: %v", err)
+	}
+	if st.Stats().DiskErrors != 0 {
+		t.Fatalf("reopened store stats = %+v", st.Stats())
+	}
+
+	tr.CloseIdleConnections()
+	checkNoLeakedGoroutines(t, before)
+}

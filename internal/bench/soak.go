@@ -1,0 +1,346 @@
+package bench
+
+// Soak is the concurrent-load smoke for the hardened swiftd server: it
+// boots an in-process server over a temporary store and drives it
+// through the four robustness behaviors in sequence — single-flight
+// coalescing (N identical concurrent requests, exactly one engine
+// run), load shedding (a held slot plus a zero-length queue yields
+// 429 + Retry-After), cooperative cancellation (a client disconnect
+// aborts the in-flight run), and drain mode (/readyz and the analysis
+// endpoints turn 503). Every assertion reads the public /stats JSON,
+// so the soak exercises exactly what an operator can observe.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"swift/internal/store"
+	"swift/internal/swiftd"
+)
+
+// SoakConfig sizes the soak run.
+type SoakConfig struct {
+	// Clients is the width of the coalesce wave (>= 2).
+	Clients int
+	// Depth and Width size the generated program: a chain of Depth
+	// methods, each a loop over Width branches, keeps an engine run in
+	// flight long enough for the wave to overlap it.
+	Depth, Width int
+}
+
+// DefaultSoakConfig runs second-scale engine runs; QuickSoakConfig is
+// the CI smoke variant.
+func DefaultSoakConfig() SoakConfig { return SoakConfig{Clients: 6, Depth: 30, Width: 15} }
+func QuickSoakConfig() SoakConfig   { return SoakConfig{Clients: 4, Depth: 20, Width: 10} }
+
+// soakProgram renders a program variant whose analysis takes long
+// enough that concurrent requests reliably overlap; the variant marker
+// partitions every cache layer.
+func soakProgram(variant, depth, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `
+property File {
+  states closed opened error
+  error error
+  open: closed -> opened
+  close: opened -> closed
+  read: opened -> opened
+}
+
+class Main {
+  method main() {
+    v%d = new File @v%d
+    w = new Worker @w1
+    f = new File @h1
+    f.open()
+    w.m0(f)
+    f.close()
+  }
+}
+
+class Worker {
+`, variant, variant)
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&sb, "  method m%d(f) {\n    while (*) {\n", i)
+		for j := 0; j < width; j++ {
+			sb.WriteString("      if (*) { f.read() } else { f.open(); f.close(); f.open() }\n")
+		}
+		if i+1 < depth {
+			fmt.Fprintf(&sb, "      this.m%d(f)\n", i+1)
+		}
+		sb.WriteString("    }\n  }\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// soakStats is the slice of the /stats JSON the soak asserts on.
+type soakStats struct {
+	Robustness struct {
+		EngineRuns   int64 `json:"engineRuns"`
+		Coalesced    int64 `json:"coalesced"`
+		Shed         int64 `json:"shed"`
+		CanceledRuns int64 `json:"canceledRuns"`
+		InFlight     int64 `json:"inFlight"`
+		Draining     bool  `json:"draining"`
+	} `json:"robustness"`
+}
+
+type soakHarness struct {
+	srv     *swiftd.Server
+	httpSrv *http.Server
+	base    string
+	served  chan error
+	stopped bool
+}
+
+func startSoakServer(st *store.Store) (*soakHarness, error) {
+	// One engine slot and no queue: the coalesce wave must share it, a
+	// second distinct request must shed.
+	srv := swiftd.New(st, swiftd.Options{
+		MaxInFlight: 1,
+		MaxQueue:    0,
+		QueueWait:   time.Second,
+		Quiet:       true,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	h := &soakHarness{
+		srv:     srv,
+		httpSrv: &http.Server{Handler: srv.Handler()},
+		base:    "http://" + ln.Addr().String(),
+		served:  make(chan error, 1),
+	}
+	go func() { h.served <- h.httpSrv.Serve(ln) }()
+	return h, nil
+}
+
+// stop shuts the server down; safe to call twice (the deferred call
+// after an explicit one is a no-op).
+func (h *soakHarness) stop() error {
+	if h.stopped {
+		return nil
+	}
+	h.stopped = true
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-h.served; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+func (h *soakHarness) post(ctx context.Context, source string) (int, string, http.Header, error) {
+	body, err := json.Marshal(map[string]string{"source": source})
+	if err != nil {
+		return 0, "", nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+"/analyze", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, string(out), resp.Header, nil
+}
+
+func (h *soakHarness) stats() (soakStats, error) {
+	var out soakStats
+	resp, err := http.Get(h.base + "/stats")
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// waitStats polls /stats until cond holds or the deadline passes.
+func (h *soakHarness) waitStats(what string, cond func(soakStats) bool) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := h.stats()
+		if err != nil {
+			return err
+		}
+		if cond(st) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("soak: timed out waiting for %s (stats %+v)", what, st.Robustness)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Soak runs the concurrent-load smoke, reporting each phase to w and
+// failing on the first violated robustness contract.
+func Soak(w io.Writer, cfg SoakConfig) error {
+	if cfg.Clients < 2 {
+		return fmt.Errorf("soak: need at least 2 clients, have %d", cfg.Clients)
+	}
+	dir, err := os.MkdirTemp("", "swift-soak-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, 16<<20)
+	if err != nil {
+		return err
+	}
+	h, err := startSoakServer(st)
+	if err != nil {
+		return err
+	}
+	defer h.stop()
+
+	// Phase 1 — coalesce: identical concurrent requests, one engine run.
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	wave := make(chan result, cfg.Clients)
+	src := soakProgram(1, cfg.Depth, cfg.Width)
+	for i := 0; i < cfg.Clients; i++ {
+		go func() {
+			code, body, _, err := h.post(context.Background(), src)
+			wave <- result{code, body, err}
+		}()
+	}
+	var first string
+	for i := 0; i < cfg.Clients; i++ {
+		r := <-wave
+		if r.err != nil {
+			return fmt.Errorf("soak: coalesce wave request: %w", r.err)
+		}
+		if r.code != http.StatusOK {
+			return fmt.Errorf("soak: coalesce wave status %d (body %s)", r.code, r.body)
+		}
+		if first == "" {
+			first = r.body
+		} else if r.body != first {
+			return fmt.Errorf("soak: coalesce wave responses diverged")
+		}
+	}
+	stats, err := h.stats()
+	if err != nil {
+		return err
+	}
+	if stats.Robustness.EngineRuns != 1 {
+		return fmt.Errorf("soak: coalesce wave ran %d engines, want exactly 1", stats.Robustness.EngineRuns)
+	}
+	if stats.Robustness.Coalesced < 1 {
+		return fmt.Errorf("soak: coalesce wave coalesced nothing")
+	}
+	fmt.Fprintf(w, "soak: coalesce  clients=%d engineRuns=%d coalesced=%d\n",
+		cfg.Clients, stats.Robustness.EngineRuns, stats.Robustness.Coalesced)
+
+	// Phase 2 — cancel: a client disconnect aborts the in-flight run.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelDone := make(chan result, 1)
+	go func() {
+		code, body, _, err := h.post(ctx, soakProgram(2, cfg.Depth, cfg.Width))
+		cancelDone <- result{code, body, err}
+	}()
+	if err := h.waitStats("cancel run in flight", func(s soakStats) bool {
+		return s.Robustness.InFlight == 1
+	}); err != nil {
+		return err
+	}
+	cancel()
+	if r := <-cancelDone; r.err == nil {
+		return fmt.Errorf("soak: disconnected request still got status %d", r.code)
+	}
+	if err := h.waitStats("canceled run to unwind", func(s soakStats) bool {
+		return s.Robustness.CanceledRuns == 1 && s.Robustness.InFlight == 0
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "soak: cancel    canceledRuns=1\n")
+
+	// Phase 3 — shed: hold the only slot, then a distinct request must
+	// get 429 + Retry-After.
+	holdDone := make(chan result, 1)
+	go func() {
+		code, body, _, err := h.post(context.Background(), soakProgram(3, cfg.Depth, cfg.Width))
+		holdDone <- result{code, body, err}
+	}()
+	if err := h.waitStats("held slot", func(s soakStats) bool {
+		return s.Robustness.InFlight == 1
+	}); err != nil {
+		return err
+	}
+	code, body, hdr, err := h.post(context.Background(), soakProgram(4, cfg.Depth, cfg.Width))
+	if err != nil {
+		return fmt.Errorf("soak: shed request: %w", err)
+	}
+	if code != http.StatusTooManyRequests {
+		return fmt.Errorf("soak: saturated request status %d, want 429 (body %s)", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		return fmt.Errorf("soak: 429 without Retry-After")
+	}
+	if r := <-holdDone; r.err != nil || r.code != http.StatusOK {
+		return fmt.Errorf("soak: held request ended %d %v", r.code, r.err)
+	}
+	stats, err = h.stats()
+	if err != nil {
+		return err
+	}
+	if stats.Robustness.Shed < 1 {
+		return fmt.Errorf("soak: shed counter is zero after a 429")
+	}
+	fmt.Fprintf(w, "soak: shed      429 retryAfter=%ss shed=%d\n", hdr.Get("Retry-After"), stats.Robustness.Shed)
+
+	// Phase 4 — drain: new analysis work is rejected and /readyz flips.
+	h.srv.BeginDrain()
+	code, body, _, err = h.post(context.Background(), soakProgram(5, cfg.Depth, cfg.Width))
+	if err != nil {
+		return err
+	}
+	if code != http.StatusServiceUnavailable {
+		return fmt.Errorf("soak: draining /analyze status %d, want 503 (body %s)", code, body)
+	}
+	readyResp, err := http.Get(h.base + "/readyz")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, readyResp.Body)
+	readyResp.Body.Close()
+	if readyResp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("soak: draining /readyz status %d, want 503", readyResp.StatusCode)
+	}
+	fmt.Fprintf(w, "soak: drain     analyze=503 readyz=503\n")
+
+	if err := h.stop(); err != nil {
+		return fmt.Errorf("soak: server shutdown: %w", err)
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "soak: ok\n")
+	return nil
+}

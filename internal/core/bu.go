@@ -113,7 +113,7 @@ func runBU[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
 		eta:    map[string]RSet[R, P]{},
 		stats:  stats,
 		budget: config,
-		dl:     newDeadline(config.Timeout),
+		dl:     newDeadline(config),
 	}
 	for name, rs := range preEta {
 		b.eta[name] = rs

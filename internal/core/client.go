@@ -132,6 +132,13 @@ var (
 	ErrBudget = errors.New("core: analysis budget exhausted")
 	// ErrDeadline indicates the wall-clock deadline passed.
 	ErrDeadline = errors.New("core: analysis deadline exceeded")
+	// ErrCanceled indicates the caller canceled the run via Config.Cancel.
+	// Like ErrDeadline it is nondeterministic — a rerun of the same inputs
+	// would not abort — so canceled outcomes are never published to a
+	// summary source, never snapshotted as tables, and never memoized as
+	// slice results (see publishOutcome and the driver's warm/demand
+	// paths).
+	ErrCanceled = errors.New("core: analysis canceled")
 )
 
 // Unlimited disables a numeric budget field.
@@ -176,6 +183,15 @@ type Config struct {
 
 	// Timeout bounds wall-clock time for the whole run; zero means none.
 	Timeout time.Duration
+
+	// Cancel, when non-nil, lets the caller abort the run cooperatively:
+	// once the channel is closed, every solver returns ErrCanceled from
+	// its next periodic check — the same low-cost points that poll the
+	// wall-clock deadline (the TD worklist, each BU evaluation step, the
+	// hybrid trigger and async completion loops), plus a pre-dispatch
+	// check in RunSliceSet's slice workers. Closing the channel is the
+	// only supported signal; sending on it does nothing.
+	Cancel <-chan struct{}
 
 	// RawCFG forces the order-insensitive solvers (RunTD, and RunBU's
 	// instantiation pass) onto the raw one-superedge-per-edge control-flow
@@ -276,30 +292,43 @@ func BUConfig() Config {
 	return c
 }
 
-// deadline tracks an optional wall-clock limit cheaply: the solvers call
-// check every few hundred steps.
+// deadline tracks the run's abort conditions cheaply: an optional
+// wall-clock limit and an optional cancellation channel, both polled by
+// the solvers every few hundred steps via check. One check interval
+// (256 calls) bounds how stale either signal can get.
 type deadline struct {
-	at    time.Time
-	armed bool
-	count int
+	at     time.Time
+	armed  bool
+	cancel <-chan struct{}
+	count  int
 }
 
-func newDeadline(timeout time.Duration) deadline {
-	if timeout <= 0 {
-		return deadline{}
+func newDeadline(config Config) deadline {
+	d := deadline{cancel: config.Cancel}
+	if config.Timeout > 0 {
+		d.at = time.Now().Add(config.Timeout)
+		d.armed = true
 	}
-	return deadline{at: time.Now().Add(timeout), armed: true}
+	return d
 }
 
 func (d *deadline) check() error {
-	if !d.armed {
+	if !d.armed && d.cancel == nil {
 		return nil
 	}
 	d.count++
 	if d.count&0xff != 0 {
 		return nil
 	}
-	if time.Now().After(d.at) {
+	select {
+	case <-d.cancel:
+		// Cancellation wins over the deadline: a canceled run must never
+		// be mistaken for a deadline abort, whose Failed markers other
+		// layers treat differently.
+		return ErrCanceled
+	default:
+	}
+	if d.armed && time.Now().After(d.at) {
 		return ErrDeadline
 	}
 	return nil

@@ -56,7 +56,7 @@ func LegacyRunTD[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
 		res:     res,
 		entry:   map[string]multiset[S]{},
 		callers: map[string]map[S][]callerRec[S]{},
-		dl:      newDeadline(config.Timeout),
+		dl:      newDeadline(config),
 	}
 	for _, name := range cfg.Program.ProcNames() {
 		res.Summaries[name] = map[S]sortedSet[S]{}

@@ -102,18 +102,48 @@ func TestMultiset(t *testing.T) {
 }
 
 func TestDeadline(t *testing.T) {
-	d := newDeadline(0)
+	d := newDeadline(Config{})
 	for i := 0; i < 1000; i++ {
 		if err := d.check(); err != nil {
 			t.Fatal("disarmed deadline fired")
 		}
 	}
-	d = newDeadline(1)
+	d = newDeadline(Config{Timeout: 1})
 	var err error
 	for i := 0; i < 10000 && err == nil; i++ {
 		err = d.check()
 	}
 	if err != ErrDeadline {
 		t.Fatalf("armed deadline did not fire: %v", err)
+	}
+}
+
+func TestDeadlineCancel(t *testing.T) {
+	ch := make(chan struct{})
+	d := newDeadline(Config{Cancel: ch})
+	for i := 0; i < 1000; i++ {
+		if err := d.check(); err != nil {
+			t.Fatalf("open cancel channel fired: %v", err)
+		}
+	}
+	close(ch)
+	// A closed channel must be noticed within one check interval (256
+	// calls).
+	var err error
+	for i := 0; i < 256 && err == nil; i++ {
+		err = d.check()
+	}
+	if err != ErrCanceled {
+		t.Fatalf("closed cancel channel: err = %v within one interval, want ErrCanceled", err)
+	}
+
+	// Cancellation wins when a wall-clock deadline has also passed.
+	d = newDeadline(Config{Timeout: 1, Cancel: ch})
+	err = nil
+	for i := 0; i < 256 && err == nil; i++ {
+		err = d.check()
+	}
+	if err != ErrCanceled {
+		t.Fatalf("cancel + expired deadline: err = %v, want ErrCanceled", err)
 	}
 }

@@ -244,6 +244,19 @@ func (a *Analysis[S, R, P]) RunSliceSet(engine string, config Config, subset []S
 	errs := make([]error, len(ids))
 	runOne := func(i int) {
 		id := ids[i]
+		// Pre-dispatch cancellation check: a canceled sliced run should
+		// stop launching queued slices promptly instead of letting each
+		// one start and abort on its own first periodic check. A slice
+		// skipped here is a dispatch-level failure, like an unknown ID —
+		// the caller gets no partial SlicedResult to misread as complete.
+		if config.Cancel != nil {
+			select {
+			case <-config.Cancel:
+				errs[i] = fmt.Errorf("slice %s: %w", id, ErrCanceled)
+				return
+			default:
+			}
+		}
 		client, initial, err := sc.SliceClient(id)
 		if err != nil {
 			errs[i] = fmt.Errorf("slice %s: %w", id, err)

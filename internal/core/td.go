@@ -245,7 +245,7 @@ func newTDSolver[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
 		res:     res,
 		callers: map[string]map[S][]callerRec[S]{},
 		memo:    make([]*seMemo[S], view.NumSuperEdges),
-		dl:      newDeadline(config.Timeout),
+		dl:      newDeadline(config),
 	}
 	if view.Compressed {
 		if tc, ok := client.(TransCompiler[S]); ok {

@@ -52,8 +52,9 @@ type SummarySource[R cmp.Ordered, P cmp.Ordered] interface {
 // publishOutcome offers a finished run_bu invocation to the source, if
 // its outcome is deterministic: a success publishes the summaries; a
 // budget exhaustion publishes a Failed marker unless a wall-clock
-// deadline (nondeterministic by nature) or the fault layer was involved.
-// Contained panics are never published — they earn retries.
+// deadline or a caller cancellation (both nondeterministic by nature) or
+// the fault layer was involved. Contained panics are never published —
+// they earn retries.
 func publishOutcome[R cmp.Ordered, P cmp.Ordered](
 	w SummarySource[R, P], trigger string, frontier []string,
 	eta map[string]RSet[R, P], err error,
@@ -66,6 +67,7 @@ func publishOutcome[R cmp.Ordered, P cmp.Ordered](
 		w.Publish(trigger, frontier, TriggerOutcome[R, P]{Eta: eta})
 	case errors.Is(err, ErrBudget) &&
 		!errors.Is(err, ErrDeadline) &&
+		!errors.Is(err, ErrCanceled) &&
 		!errors.Is(err, ErrClientPanic) &&
 		!errors.Is(err, ErrClientFault):
 		w.Publish(trigger, frontier, TriggerOutcome[R, P]{Failed: true})

@@ -328,13 +328,22 @@ func (e *DemandEvaluator) Tables(ids []core.SliceID) (map[core.SliceID]*SliceTab
 	}
 	for i := range res.Slices {
 		sl := &res.Slices[i]
+		// An aborted slice (budget, deadline, cancellation) must fail the
+		// call before table construction: under td/swift/swift-async the
+		// abort leaves a partial — but non-nil — TD table behind, which
+		// buildSliceTable would happily fold into a table that answers
+		// "unreachable" for everything the run never got to. Only
+		// completed runs may be built and memoized.
+		if rerr := sl.Result.Err; rerr != nil {
+			return nil, stats, fmt.Errorf("driver: %s slice %s run aborted: %w", sl.Result.Engine, sl.ID, rerr)
+		}
 		t, err := buildSliceTable(sl)
 		if err != nil {
 			return nil, stats, err
 		}
 		stats.Work += t.Work
-		// Memoize only deterministic outcomes; wall-clock-dependent
-		// aborts never reach here (buildSliceTable rejects them above).
+		// Memoize only deterministic outcomes; aborted runs never reach
+		// here (rejected above).
 		e.Memo.add(e.key(sl.ID), t)
 		out[sl.ID] = t
 	}

@@ -193,12 +193,16 @@ func (s *summarySource) Publish(trigger string, frontier []string, out core.Trig
 
 // deterministicOutcome reports whether a run outcome is reproducible on
 // an identical rebuild: a completed run, or a budget abort that did not
-// involve the wall clock.
+// involve the wall clock or a caller cancellation. ErrCanceled never
+// wraps ErrBudget today, but the exclusion is spelled out anyway: a
+// canceled run's tables are partial and must never be snapshotted.
 func deterministicOutcome(err error) bool {
 	if err == nil {
 		return true
 	}
-	return errors.Is(err, core.ErrBudget) && !errors.Is(err, core.ErrDeadline)
+	return errors.Is(err, core.ErrBudget) &&
+		!errors.Is(err, core.ErrDeadline) &&
+		!errors.Is(err, core.ErrCanceled)
 }
 
 // Run executes the engine like Build.Run, warm-starting from the store

@@ -1,0 +1,105 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProbeHealthyDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Probe(); err != nil {
+		t.Fatalf("probe on healthy store: %v", err)
+	}
+	// The sentinel must not linger.
+	ents, err := os.ReadDir(filepath.Join(dir, "zz"))
+	if err == nil && len(ents) != 0 {
+		t.Fatalf("probe left %d sentinel files behind", len(ents))
+	}
+	if n := s.Stats().DiskErrors; n != 0 {
+		t.Fatalf("healthy probe counted %d disk errors", n)
+	}
+}
+
+func TestProbeMemoryOnlyTriviallyHealthy(t *testing.T) {
+	s, err := Open("", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Probe(); err != nil {
+		t.Fatalf("memory-only probe: %v", err)
+	}
+}
+
+// TestProbeBrokenDiskFails replaces the store directory with a plain
+// file, so every write under it fails with ENOTDIR — this breaks writes
+// even when the test runs as root, which ignores permission bits. The
+// memory tier stays warm on purpose: the probe must not be fooled by it.
+func TestProbeBrokenDiskFails(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "store")
+	s, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Kind: "result", Body: "x"}
+	s.Put(key, []byte("blob"))
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("memory tier lost the blob")
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Probe(); err == nil {
+		t.Fatal("probe succeeded on a broken disk tier")
+	}
+	if n := s.Stats().DiskErrors; n == 0 {
+		t.Fatal("failed probe did not count a disk error")
+	}
+	// The memory tier still serves: degradation, not amnesia.
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("memory tier stopped serving after probe failure")
+	}
+}
+
+func TestCloseIdempotentAndFinal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Kind: "result", Body: "y"}
+	s.Put(key, []byte("blob"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get served from a closed store")
+	}
+	s.Put(Key{Kind: "result", Body: "z"}, []byte("late"))
+	s.Delete(key)
+	if err := s.Probe(); err == nil {
+		t.Fatal("probe succeeded on a closed store")
+	}
+	// The pre-close blob survives on disk untouched by the late ops.
+	s2, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob, ok := s2.Get(key); !ok || string(blob) != "blob" {
+		t.Fatalf("reopened store: got %q, %v", blob, ok)
+	}
+	if _, ok := s2.Get(Key{Kind: "result", Body: "z"}); ok {
+		t.Fatal("write after close reached the disk")
+	}
+}

@@ -14,6 +14,7 @@
 package store
 
 import (
+	"bytes"
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
@@ -21,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // Key identifies one cached artifact. Every field that can change the
@@ -80,11 +82,14 @@ type Store struct {
 	dir string // "" = memory-only
 
 	mu       sync.Mutex
+	closed   bool
 	maxBytes int64
 	curBytes int64
 	lru      *list.List               // front = most recent; values are *entry
 	entries  map[string]*list.Element // id → element
 	stats    Stats
+
+	probeSeq atomic.Int64
 }
 
 // entry is one memory-tier resident blob.
@@ -122,6 +127,10 @@ func (s *Store) path(id string) string {
 func (s *Store) Get(key Key) ([]byte, bool) {
 	id := key.ID()
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false
+	}
 	if el, ok := s.entries[id]; ok {
 		s.lru.MoveToFront(el)
 		s.stats.MemHits++
@@ -156,6 +165,10 @@ func (s *Store) Get(key Key) ([]byte, bool) {
 func (s *Store) Put(key Key, blob []byte) {
 	id := key.ID()
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
 	s.stats.Puts++
 	s.installLocked(id, blob)
 	s.mu.Unlock()
@@ -205,6 +218,10 @@ func (s *Store) installLocked(id string, blob []byte) {
 func (s *Store) Delete(key Key) {
 	id := key.ID()
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
 	if el, ok := s.entries[id]; ok {
 		e := el.Value.(*entry)
 		s.lru.Remove(el)
@@ -271,4 +288,67 @@ func (s *Store) MemLen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lru.Len()
+}
+
+// Close marks the store closed and drops the memory tier. Every write
+// already went through a temp-file-plus-rename, so there is nothing to
+// flush: closing exists so a shutting-down server can guarantee no
+// straggler request mutates the directory after the drain finishes —
+// subsequent Gets miss, Puts and Deletes are no-ops, and Probe fails.
+// Close is idempotent and safe to race with in-flight operations.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.lru.Init()
+	s.entries = map[string]*list.Element{}
+	s.curBytes = 0
+	return nil
+}
+
+// Probe verifies the disk tier is usable: it writes a small sentinel
+// blob through the normal atomic-write path, reads it back from disk,
+// and removes it — deliberately bypassing the memory tier, which would
+// otherwise mask a dead disk behind cache hits. Memory-only stores have
+// no disk tier to break and trivially pass. Probe failures count as
+// DiskErrors. swiftd's /healthz calls this so liveness reflects storage
+// health.
+func (s *Store) Probe() error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.dir == "" {
+		return nil
+	}
+	// Unique per probe so concurrent probes never race on one file
+	// (writeFile's rename is atomic, but a reader could otherwise observe
+	// another probe's delete).
+	id := fmt.Sprintf("zzprobe-%d", s.probeSeq.Add(1))
+	blob := []byte(id)
+	fail := func(stage string, err error) error {
+		s.mu.Lock()
+		s.stats.DiskErrors++
+		s.mu.Unlock()
+		return fmt.Errorf("store: probe %s: %w", stage, err)
+	}
+	if err := s.writeFile(id, blob); err != nil {
+		return fail("write", err)
+	}
+	got, err := os.ReadFile(s.path(id))
+	if err != nil {
+		return fail("read", err)
+	}
+	if !bytes.Equal(got, blob) {
+		return fail("verify", fmt.Errorf("sentinel mismatch: got %d bytes", len(got)))
+	}
+	if err := os.Remove(s.path(id)); err != nil {
+		return fail("remove", err)
+	}
+	return nil
 }

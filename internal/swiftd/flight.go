@@ -1,0 +1,120 @@
+package swiftd
+
+// Single-flight coalescing: concurrent requests whose result-cache key
+// is identical share one engine run. The first participant (the leader)
+// computes; the rest wait for its result. Each participant departs when
+// its request context ends, and when the last one is gone the flight's
+// cancel channel closes, so an engine run whose audience has left
+// aborts at its next periodic check instead of running to completion
+// for nobody. CancelInflight (graceful shutdown) force-closes every
+// flight's cancel channel the same way.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightResult is the outcome every participant of a flight shares:
+// a pre-marshaled response body plus its status, and the Retry-After
+// seconds for shed (429) results.
+type flightResult struct {
+	status     int
+	body       []byte
+	retryAfter int
+}
+
+type flight struct {
+	id string
+	// done closes when the leader finished and res is valid; cancel
+	// closes when every participant departed (or on cancelAll) and feeds
+	// the engine's Config.Cancel.
+	done   chan struct{}
+	cancel chan struct{}
+
+	group    *flightGroup
+	waiters  int // guarded by group.mu
+	canceled bool
+	finished bool
+	res      flightResult
+}
+
+func (f *flight) result() flightResult {
+	<-f.done
+	return f.res
+}
+
+type flightGroup struct {
+	mu        sync.Mutex
+	flights   map[string]*flight
+	coalesced atomic.Int64
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[string]*flight{}}
+}
+
+// join registers the caller as a participant of id's flight, creating
+// it (leader == true) if none is in flight.
+func (g *flightGroup) join(id string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[id]; ok {
+		f.waiters++
+		return f, false
+	}
+	f := &flight{
+		id:      id,
+		done:    make(chan struct{}),
+		cancel:  make(chan struct{}),
+		group:   g,
+		waiters: 1,
+	}
+	g.flights[id] = f
+	return f, true
+}
+
+// depart removes one participant. When the last one leaves an
+// unfinished flight, its cancel channel closes: nobody is waiting for
+// the result, so the engine run should stop.
+func (g *flightGroup) depart(f *flight) {
+	g.mu.Lock()
+	f.waiters--
+	cancelNow := f.waiters == 0 && !f.finished && !f.canceled
+	if cancelNow {
+		f.canceled = true
+	}
+	g.mu.Unlock()
+	if cancelNow {
+		close(f.cancel)
+	}
+}
+
+// finish publishes the leader's result to every waiter and retires the
+// flight, so the next identical request starts fresh (the result cache,
+// not the flight group, serves repeats).
+func (g *flightGroup) finish(f *flight, res flightResult) {
+	g.mu.Lock()
+	delete(g.flights, f.id)
+	f.finished = true
+	f.res = res
+	g.mu.Unlock()
+	close(f.done)
+}
+
+// cancelAll force-closes every in-flight cancel channel (graceful
+// shutdown past the drain deadline). Leaders still publish their
+// (canceled) results normally.
+func (g *flightGroup) cancelAll() {
+	g.mu.Lock()
+	var toCancel []*flight
+	for _, f := range g.flights {
+		if !f.finished && !f.canceled {
+			f.canceled = true
+			toCancel = append(toCancel, f)
+		}
+	}
+	g.mu.Unlock()
+	for _, f := range toCancel {
+		close(f.cancel)
+	}
+}

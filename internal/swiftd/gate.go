@@ -1,0 +1,106 @@
+package swiftd
+
+// Admission control: a fixed pool of in-flight slots plus a bounded
+// wait queue. Requests that find every slot busy may queue (up to
+// maxQueue of them, each for at most queueWait) and are otherwise shed,
+// so a burst degrades into fast 429s instead of an unbounded pile of
+// concurrent engine runs fighting for memory and cores.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	// errSaturated means the gate shed the request: every slot busy and
+	// the queue full, or the queue wait expired.
+	errSaturated = errors.New("swiftd: admission gate saturated")
+	// errQueueCanceled means the request's context ended while queued.
+	errQueueCanceled = errors.New("swiftd: request canceled while queued")
+)
+
+type gate struct {
+	// slots is pre-filled with maxInFlight tokens; holding one admits an
+	// engine run.
+	slots     chan struct{}
+	maxQueue  int64
+	queueWait time.Duration
+
+	// queued is the instantaneous wait-queue depth, bounded by maxQueue
+	// via CAS admission (a channel of waiters would let two waiters
+	// rendezvous through a zero-capacity queue).
+	queued   atomic.Int64
+	inFlight atomic.Int64
+	peak     atomic.Int64
+	shed     atomic.Int64
+}
+
+func newGate(maxInFlight, maxQueue int, queueWait time.Duration) *gate {
+	g := &gate{
+		slots:     make(chan struct{}, maxInFlight),
+		maxQueue:  int64(maxQueue),
+		queueWait: queueWait,
+	}
+	for i := 0; i < maxInFlight; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// acquire admits the caller or fails with errSaturated (shed) or
+// errQueueCanceled (ctx ended while waiting). Every nil return must be
+// paired with a release.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case <-g.slots:
+		g.admitted()
+		return nil
+	default:
+	}
+	for {
+		n := g.queued.Load()
+		if n >= g.maxQueue {
+			g.shed.Add(1)
+			return errSaturated
+		}
+		if g.queued.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	defer g.queued.Add(-1)
+	timer := time.NewTimer(g.queueWait)
+	defer timer.Stop()
+	select {
+	case <-g.slots:
+		g.admitted()
+		return nil
+	case <-timer.C:
+		g.shed.Add(1)
+		return errSaturated
+	case <-ctx.Done():
+		return errQueueCanceled
+	}
+}
+
+func (g *gate) admitted() {
+	n := g.inFlight.Add(1)
+	for {
+		p := g.peak.Load()
+		if n <= p || g.peak.CompareAndSwap(p, n) {
+			return
+		}
+	}
+}
+
+func (g *gate) release() {
+	g.inFlight.Add(-1)
+	g.slots <- struct{}{}
+}
+
+// saturated reports whether a new request would be shed right now:
+// every slot busy and the queue full. Feeds /readyz.
+func (g *gate) saturated() bool {
+	return len(g.slots) == 0 && g.queued.Load() >= g.maxQueue
+}

@@ -1,4 +1,4 @@
-package main
+package swiftd
 
 // POST /query: the demand-driven serving path. A request names a program
 // and one point query (or a batch); the server answers from the
@@ -11,15 +11,18 @@ package main
 // versions too (slice keys carry the program digests).
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"time"
 
 	"swift/internal/core"
 	"swift/internal/driver"
 	"swift/internal/query"
+	"swift/internal/store"
 )
 
 // queryRequest is the POST /query body. Exactly one of "query" (single)
@@ -80,26 +83,23 @@ func batchDigest(qs []query.Query) string {
 	return "batch-" + hex.EncodeToString(sum[:16])
 }
 
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
 		return
 	}
-	s.requests.Add(1)
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Engine == "" {
 		req.Engine = "swift"
 	}
 	if !validEngines[req.Engine] {
-		httpError(w, http.StatusBadRequest, "unknown engine %q (want td, bu, swift or swift-async)", req.Engine)
+		s.httpError(w, http.StatusBadRequest, "unknown engine %q (want td, bu, swift or swift-async)", req.Engine)
 		return
 	}
 	if (req.Query == nil) == (len(req.Queries) == 0) {
-		httpError(w, http.StatusBadRequest, `exactly one of "query" and "queries" must be set`)
+		s.httpError(w, http.StatusBadRequest, `exactly one of "query" and "queries" must be set`)
 		return
 	}
 	qs := req.Queries
@@ -118,17 +118,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	b, err := driver.FromSource(req.Source)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "build failed: %v", err)
+		s.httpError(w, http.StatusUnprocessableEntity, "build failed: %v", err)
 		return
 	}
+	// Validation runs before admission and coalescing: malformed queries
+	// must fail fast with 400, not occupy an engine slot.
 	e, err := query.New(b, req.Engine, cfg, s.sliceMemo)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	for i, q := range qs {
 		if err := e.Validate(q); err != nil {
-			httpError(w, http.StatusBadRequest, "query %d: %v", i, err)
+			s.httpError(w, http.StatusBadRequest, "query %d: %v", i, err)
 			return
 		}
 	}
@@ -142,20 +144,46 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var resp queryResponse
 	if s.lookupResult(key, &resp, &s.queryResultHits, &s.queryResultMisses) {
 		resp.Cached = true
-		writeJSON(w, resp)
+		s.writeJSON(w, resp)
 		return
 	}
+
+	ctx, cancelCtx := s.requestContext(r)
+	defer cancelCtx()
+	s.serveFlight(w, r, ctx, key.ID(), func(cancel <-chan struct{}) flightResult {
+		return s.computeQuery(ctx, b, req, cfg, qs, key, cancel)
+	})
+}
+
+// computeQuery is the /query leader path: admission, the demand
+// evaluation and the response blob all participants share. It builds a
+// second engine over the same build and memo so the cancel channel
+// reaches the slice runs without contaminating the validation engine.
+func (s *Server) computeQuery(ctx context.Context, b *driver.Build, req queryRequest, cfg core.Config, qs []query.Query, key store.Key, cancel <-chan struct{}) flightResult {
+	if err := s.gate.acquire(ctx); err != nil {
+		return s.gateResult(err)
+	}
+	defer s.gate.release()
+	cfg.Cancel = cancel
+	e, err := query.New(b, req.Engine, cfg, s.sliceMemo)
+	if err != nil {
+		return flightResult{status: http.StatusInternalServerError, body: errorBody("%v", err)}
+	}
+	s.engineRuns.Add(1)
 
 	start := time.Now()
 	answers, stats, err := e.AnswerBatch(qs)
 	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			s.canceledRuns.Add(1)
+			return flightResult{status: http.StatusServiceUnavailable, body: errorBody("query evaluation canceled before completion")}
+		}
 		// An aborted slice run (budget, deadline): the batch has no
 		// answers. Nothing is cached — a budget abort would recur, but a
 		// deadline abort might not, and neither yields a response blob.
-		httpError(w, http.StatusInternalServerError, "query evaluation failed: %v", err)
-		return
+		return flightResult{status: http.StatusInternalServerError, body: errorBody("query evaluation failed: %v", err)}
 	}
-	resp = queryResponse{
+	resp := queryResponse{
 		Engine:     req.Engine,
 		Answers:    answers,
 		Slices:     stats.Slices,
@@ -164,14 +192,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Work:       stats.Work,
 		ElapsedMS:  time.Since(start).Milliseconds(),
 	}
-	if blob, merr := json.Marshal(resp); merr == nil {
-		s.store.Put(key, blob)
+	blob, merr := json.Marshal(resp)
+	if merr != nil {
+		s.encodeFailures.Add(1)
+		s.logf("swiftd: query response encode failed: %v", merr)
+		return flightResult{status: http.StatusInternalServerError, body: errorBody("response encode failed: %v", merr)}
 	}
-	writeJSON(w, resp)
+	s.store.Put(key, blob)
+	return flightResult{status: http.StatusOK, body: append(blob, '\n')}
 }
 
 // countQueries folds one accepted batch into the query telemetry.
-func (s *server) countQueries(qs []query.Query) {
+func (s *Server) countQueries(qs []query.Query) {
 	s.queryBatches.Add(1)
 	s.queriesServed.Add(int64(len(qs)))
 	for {
@@ -193,7 +225,7 @@ func (s *server) countQueries(qs []query.Query) {
 }
 
 // queryStatsSnapshot renders the /stats query block.
-func (s *server) queryStatsSnapshot() queryStats {
+func (s *Server) queryStatsSnapshot() queryStats {
 	return queryStats{
 		Batches:      s.queryBatches.Load(),
 		Queries:      s.queriesServed.Load(),

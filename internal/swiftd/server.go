@@ -1,0 +1,649 @@
+// Package swiftd implements the analysis server behind cmd/swiftd: a
+// JSON-over-HTTP front end over the persistent artifact store, hardened
+// for production use. Beyond the three cache layers (whole-response
+// blobs, per-trigger summaries, intern-table snapshots) it provides:
+//
+//   - cooperative cancellation: every engine run carries a cancel
+//     channel wired to the request context, so a client disconnect or a
+//     per-request deadline aborts the run at its next periodic check;
+//   - admission control: a bounded in-flight gate with a bounded wait
+//     queue sheds excess load with 429 + Retry-After instead of
+//     accepting unbounded work;
+//   - single-flight coalescing: concurrent requests for the same result
+//     key share one engine run and one response blob;
+//   - graceful shutdown: BeginDrain flips /readyz and rejects new
+//     analysis work, CancelInflight aborts stragglers past the drain
+//     deadline.
+package swiftd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"swift/internal/core"
+	"swift/internal/driver"
+	"swift/internal/store"
+)
+
+// Options configures a Server. Zero values take the documented
+// defaults, except MaxQueue: a zero queue really is a zero-length queue
+// (requests that find every slot busy are shed immediately), because
+// "no queue" is a meaningful production configuration.
+type Options struct {
+	// MaxInFlight bounds concurrently executing engine runs; defaults to
+	// runtime.GOMAXPROCS(0).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot. Negative
+	// values mean zero.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot before
+	// being shed; defaults to 2s.
+	QueueWait time.Duration
+	// ReqTimeout is the per-request deadline (0 = none). A request that
+	// exceeds it gets a structured 504 and its engine run is canceled.
+	ReqTimeout time.Duration
+	// MaxBody caps request body bytes (413 beyond); defaults to 8 MiB.
+	MaxBody int64
+	// Quiet suppresses the per-request access log.
+	Quiet bool
+	// Logger receives the access log and internal error reports;
+	// defaults to log.Default().
+	Logger *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue < 0 {
+		o.MaxQueue = 0
+	}
+	if o.QueueWait <= 0 {
+		o.QueueWait = 2 * time.Second
+	}
+	if o.MaxBody <= 0 {
+		o.MaxBody = 8 << 20
+	}
+	if o.Logger == nil {
+		o.Logger = log.Default()
+	}
+	return o
+}
+
+// Server is the swiftd request handler. Three cache layers cooperate on
+// a request: whole-response blobs (Kind "result"/"queryresult"),
+// per-trigger summaries and intern-table snapshots (via driver.Warm).
+// All are keyed by content digests, so serving a cached response for a
+// byte-identical program is exact, not heuristic.
+type Server struct {
+	store *store.Store
+	opts  Options
+
+	// gate is the admission controller; flights coalesces concurrent
+	// identical requests onto one engine run.
+	gate    *gate
+	flights *flightGroup
+
+	// draining rejects new analysis work during graceful shutdown.
+	draining atomic.Bool
+
+	// sliceMemo is the in-process slice-table cache behind /query, shared
+	// across requests and program versions (its keys carry the program
+	// digests, so cross-version reuse is impossible by construction).
+	sliceMemo *driver.SliceMemo
+
+	requests      atomic.Int64
+	resultHits    atomic.Int64
+	resultMisses  atomic.Int64
+	resultCorrupt atomic.Int64
+
+	// /query telemetry (see queryStats).
+	queryBatches      atomic.Int64
+	queriesServed     atomic.Int64
+	queryMaxBatch     atomic.Int64
+	queryCanReach     atomic.Int64
+	queryStatesAt     atomic.Int64
+	queryIsError      atomic.Int64
+	queryResultHits   atomic.Int64
+	queryResultMisses atomic.Int64
+
+	// Incremental telemetry: cumulative warm-path counters across every
+	// engine run, surfaced in /stats so repeated /analyze calls on
+	// successive program versions show how much the store reused.
+	restoredRuns   atomic.Int64
+	relaxedRuns    atomic.Int64
+	failedRestores atomic.Int64
+	summaryHits    atomic.Int64
+	summaryMisses  atomic.Int64
+
+	// Robustness telemetry (see robustnessStats).
+	engineRuns      atomic.Int64
+	canceledRuns    atomic.Int64
+	timeouts        atomic.Int64
+	probeFailures   atomic.Int64
+	encodeFailures  atomic.Int64
+	oversizedBodies atomic.Int64
+}
+
+// analyzeRequest is the POST /analyze body. Absent k/theta default to
+// core.DefaultConfig's thresholds; engine defaults to "swift".
+type analyzeRequest struct {
+	Source         string `json:"source"`
+	Engine         string `json:"engine"`
+	K              *int   `json:"k"`
+	Theta          *int   `json:"theta"`
+	RawCFG         bool   `json:"rawCFG"`
+	NoTransferMemo bool   `json:"noTransferMemo"`
+}
+
+// analyzeResponse is the POST /analyze reply.
+type analyzeResponse struct {
+	Engine string `json:"engine"`
+	// ErrorSites lists allocation sites whose tracked objects may reach a
+	// property error state; empty means no misuse found.
+	ErrorSites []string `json:"errorSites"`
+	// Err is non-empty when the engine aborted (budget exhaustion); the
+	// report is then unavailable rather than empty.
+	Err       string `json:"err,omitempty"`
+	Completed bool   `json:"completed"`
+	// Cached reports the response was served from the result cache without
+	// running any engine.
+	Cached bool `json:"cached"`
+	// TablesDigest fingerprints the deterministic result tables
+	// (driver.ResultTablesDigest), so clients can compare runs.
+	TablesDigest string `json:"tablesDigest,omitempty"`
+	// Warm-start telemetry of the run that produced this response. Relaxed
+	// means summaries were reused without a restored tables snapshot (same
+	// report, but tables need not be byte-identical to the cold run).
+	RestoredTables bool  `json:"restoredTables"`
+	Relaxed        bool  `json:"relaxed"`
+	SummaryHits    int64 `json:"summaryHits"`
+	SummaryMisses  int64 `json:"summaryMisses"`
+	ElapsedMS      int64 `json:"elapsedMs"`
+}
+
+// incrementalStats is the /stats incremental telemetry block.
+type incrementalStats struct {
+	// RestoredRuns counts runs that restored a tables snapshot
+	// (byte-identity mode); RelaxedRuns counts runs with summary reuse but
+	// no snapshot; FailedRestores counts corrupt snapshots dropped.
+	RestoredRuns   int64 `json:"restoredRuns"`
+	RelaxedRuns    int64 `json:"relaxedRuns"`
+	FailedRestores int64 `json:"failedRestores"`
+	SummaryHits    int64 `json:"summaryHits"`
+	SummaryMisses  int64 `json:"summaryMisses"`
+}
+
+// robustnessStats is the /stats robustness telemetry block.
+type robustnessStats struct {
+	// EngineRuns counts engine executions actually started (cache hits
+	// and coalesced followers don't run engines); Coalesced counts
+	// requests that shared another request's in-flight run.
+	EngineRuns int64 `json:"engineRuns"`
+	Coalesced  int64 `json:"coalesced"`
+	// Shed counts requests rejected with 429 by the admission gate;
+	// CanceledRuns counts engine runs aborted by cancellation (client
+	// disconnect, request timeout or shutdown); Timeouts counts 504s.
+	Shed         int64 `json:"shed"`
+	CanceledRuns int64 `json:"canceledRuns"`
+	Timeouts     int64 `json:"timeouts"`
+	// InFlight/QueueDepth are instantaneous; InFlightPeak is the high
+	// watermark of concurrently executing runs.
+	InFlight     int64 `json:"inFlight"`
+	InFlightPeak int64 `json:"inFlightPeak"`
+	QueueDepth   int64 `json:"queueDepth"`
+	Draining     bool  `json:"draining"`
+	// ProbeFailures counts failed /healthz store probes; EncodeFailures
+	// counts response bodies that failed to encode; OversizedBodies
+	// counts 413s.
+	ProbeFailures   int64 `json:"probeFailures"`
+	EncodeFailures  int64 `json:"encodeFailures"`
+	OversizedBodies int64 `json:"oversizedBodies"`
+}
+
+// statsResponse is the GET /stats reply.
+type statsResponse struct {
+	Requests      int64            `json:"requests"`
+	ResultHits    int64            `json:"resultHits"`
+	ResultMisses  int64            `json:"resultMisses"`
+	ResultCorrupt int64            `json:"resultCorrupt"`
+	Incremental   incrementalStats `json:"incremental"`
+	Query         queryStats       `json:"query"`
+	Robustness    robustnessStats  `json:"robustness"`
+	Store         store.Stats      `json:"store"`
+}
+
+// New returns a Server over st. The store stays owned by the caller
+// (swiftd's main closes it after the drain finishes).
+func New(st *store.Store, opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		store:     st,
+		opts:      opts,
+		gate:      newGate(opts.MaxInFlight, opts.MaxQueue, opts.QueueWait),
+		flights:   newFlightGroup(),
+		sliceMemo: driver.NewSliceMemo(0),
+	}
+}
+
+// BeginDrain puts the server into graceful-shutdown mode: /readyz turns
+// unready and new /analyze and /query requests are rejected with 503.
+// In-flight requests keep running until they finish or CancelInflight.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+}
+
+// CancelInflight aborts every in-flight engine run by closing its
+// flight's cancel channel. Used when the drain deadline passes with
+// stragglers still computing: they return ErrCanceled (publishing
+// nothing) and their requests complete with 503.
+func (s *Server) CancelInflight() {
+	s.flights.cancelAll()
+}
+
+// Handler returns the routed HTTP handler, wrapped in the access log.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return s.accessLog(mux)
+}
+
+// statusWriter records the status code and byte count a handler wrote,
+// for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += n
+	return n, err
+}
+
+// accessLog wraps h with a per-request log line (suppressed by
+// Options.Quiet). Status 0 means the handler wrote nothing — the client
+// disconnected before a response existed.
+func (s *Server) accessLog(h http.Handler) http.Handler {
+	if s.opts.Quiet {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		status := "aborted"
+		if sw.status != 0 {
+			status = strconv.Itoa(sw.status)
+		}
+		s.logf("swiftd: %s %s %s %dB %s", r.Method, r.URL.Path, status, sw.bytes, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+func (s *Server) logf(format string, args ...any) {
+	s.opts.Logger.Printf(format, args...)
+}
+
+// httpError writes a structured JSON error. Encode failures are counted
+// and logged — a response we could not produce must not vanish silently.
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}); err != nil {
+		s.encodeFailures.Add(1)
+		s.logf("swiftd: error response encode failed: %v", err)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.encodeFailures.Add(1)
+		s.logf("swiftd: response encode failed: %v", err)
+	}
+}
+
+// errorBody renders the structured error payload used inside flight
+// results (which carry pre-marshaled bytes).
+func errorBody(format string, args ...any) []byte {
+	blob, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	return append(blob, '\n')
+}
+
+var validEngines = map[string]bool{"td": true, "bu": true, "swift": true, "swift-async": true}
+
+// admit runs the shared request preamble: method, drain state and body
+// cap. It reports whether the handler should proceed.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	if s.draining.Load() {
+		s.httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return false
+	}
+	s.requests.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
+	return true
+}
+
+// decodeBody decodes the JSON request body into v, mapping an oversized
+// body to a structured 413 and anything else malformed to 400.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.oversizedBodies.Add(1)
+			s.httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		s.httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// requestContext applies the per-request deadline, if configured.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.ReqTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.ReqTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// serveFlight coalesces the computation identified by id: the first
+// participant becomes the leader and runs compute with a cancel channel
+// that closes when every participant has gone away (or on
+// CancelInflight); later participants wait for the leader's result.
+// Each participant departs when its ctx ends, so a per-request deadline
+// or client disconnect stops counting toward keeping the run alive.
+func (s *Server) serveFlight(w http.ResponseWriter, r *http.Request, ctx context.Context, id string, compute func(cancel <-chan struct{}) flightResult) {
+	f, leader := s.flights.join(id)
+	if !leader {
+		s.flights.coalesced.Add(1)
+	}
+	stop := context.AfterFunc(ctx, func() { s.flights.depart(f) })
+	defer func() {
+		if stop() {
+			// AfterFunc never ran: this participant departs normally.
+			s.flights.depart(f)
+		}
+	}()
+
+	if leader {
+		res := compute(f.cancel)
+		s.flights.finish(f, res)
+		s.writeFlightResult(w, r, ctx, res)
+		return
+	}
+	select {
+	case <-f.done:
+		s.writeFlightResult(w, r, ctx, f.result())
+	case <-ctx.Done():
+		s.writeFlightResult(w, r, ctx, flightResult{})
+	}
+}
+
+// writeFlightResult delivers a flight's outcome to one participant. A
+// participant whose own deadline fired while the client is still there
+// gets a structured 504; one whose client is gone gets nothing.
+func (s *Server) writeFlightResult(w http.ResponseWriter, r *http.Request, ctx context.Context, res flightResult) {
+	if ctx.Err() != nil {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) && r.Context().Err() == nil {
+			s.timeouts.Add(1)
+			s.httpError(w, http.StatusGatewayTimeout, "request exceeded the %s server deadline", s.opts.ReqTimeout)
+		}
+		return
+	}
+	if res.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(res.retryAfter))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	if _, err := w.Write(res.body); err != nil {
+		s.logf("swiftd: response write failed: %v", err)
+	}
+}
+
+// gateResult maps an admission failure to a flight result: saturation
+// sheds with 429 + Retry-After sized to the queue wait, a context that
+// ended while queued yields 503 (the participant's own 504/disconnect
+// handling decides what, if anything, reaches the client).
+func (s *Server) gateResult(err error) flightResult {
+	if errors.Is(err, errSaturated) {
+		retry := int(s.opts.QueueWait / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		return flightResult{
+			status:     http.StatusTooManyRequests,
+			body:       errorBody("server saturated: %d runs in flight, queue full; retry later", s.opts.MaxInFlight),
+			retryAfter: retry,
+		}
+	}
+	return flightResult{
+		status: http.StatusServiceUnavailable,
+		body:   errorBody("request canceled while queued for admission"),
+	}
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
+	var req analyzeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Engine == "" {
+		req.Engine = "swift"
+	}
+	if !validEngines[req.Engine] {
+		s.httpError(w, http.StatusBadRequest, "unknown engine %q (want td, bu, swift or swift-async)", req.Engine)
+		return
+	}
+	cfg := core.DefaultConfig()
+	if req.K != nil {
+		cfg.K = *req.K
+	}
+	if req.Theta != nil {
+		cfg.Theta = *req.Theta
+	}
+	cfg.RawCFG = req.RawCFG
+	cfg.NoTransferMemo = req.NoTransferMemo
+
+	// The build (parse → points-to → lower → client construction) always
+	// runs: the cache keys are content digests of the built pipeline.
+	b, err := driver.FromSource(req.Source)
+	if err != nil {
+		s.httpError(w, http.StatusUnprocessableEntity, "build failed: %v", err)
+		return
+	}
+
+	key := driver.ResultKey(b, req.Engine, cfg)
+	{
+		var resp analyzeResponse
+		if s.lookupResult(key, &resp, &s.resultHits, &s.resultMisses) {
+			resp.Cached = true
+			s.writeJSON(w, resp)
+			return
+		}
+	}
+
+	ctx, cancelCtx := s.requestContext(r)
+	defer cancelCtx()
+	s.serveFlight(w, r, ctx, key.ID(), func(cancel <-chan struct{}) flightResult {
+		return s.computeAnalyze(ctx, b, req, cfg, key, cancel)
+	})
+}
+
+// computeAnalyze is the /analyze leader path: admission, the engine run
+// and the response blob all participants share.
+func (s *Server) computeAnalyze(ctx context.Context, b *driver.Build, req analyzeRequest, cfg core.Config, key store.Key, cancel <-chan struct{}) flightResult {
+	if err := s.gate.acquire(ctx); err != nil {
+		return s.gateResult(err)
+	}
+	defer s.gate.release()
+	cfg.Cancel = cancel
+	s.engineRuns.Add(1)
+
+	start := time.Now()
+	res, wstats, err := driver.Warm{Store: s.store}.Run(b, req.Engine, cfg)
+	if err != nil {
+		return flightResult{status: http.StatusInternalServerError, body: errorBody("run failed: %v", err)}
+	}
+	if wstats.RestoredTables {
+		s.restoredRuns.Add(1)
+	}
+	if wstats.Relaxed {
+		s.relaxedRuns.Add(1)
+	}
+	if wstats.RestoreFailed {
+		s.failedRestores.Add(1)
+	}
+	s.summaryHits.Add(wstats.SummaryHits)
+	s.summaryMisses.Add(wstats.SummaryMisses)
+	if errors.Is(res.Err, core.ErrCanceled) {
+		s.canceledRuns.Add(1)
+		return flightResult{status: http.StatusServiceUnavailable, body: errorBody("analysis canceled before completion")}
+	}
+	resp := analyzeResponse{
+		Engine:         res.Engine,
+		Completed:      res.Completed(),
+		TablesDigest:   driver.ResultTablesDigest(b, res),
+		RestoredTables: wstats.RestoredTables,
+		Relaxed:        wstats.Relaxed,
+		SummaryHits:    wstats.SummaryHits,
+		SummaryMisses:  wstats.SummaryMisses,
+		ElapsedMS:      time.Since(start).Milliseconds(),
+	}
+	if res.Err != nil {
+		resp.Err = res.Err.Error()
+	} else {
+		sites, rerr := b.ErrorReport(res)
+		if rerr != nil {
+			return flightResult{status: http.StatusInternalServerError, body: errorBody("report failed: %v", rerr)}
+		}
+		resp.ErrorSites = sites
+	}
+	blob, merr := json.Marshal(resp)
+	if merr != nil {
+		s.encodeFailures.Add(1)
+		s.logf("swiftd: analyze response encode failed: %v", merr)
+		return flightResult{status: http.StatusInternalServerError, body: errorBody("response encode failed: %v", merr)}
+	}
+	// Cache only deterministic outcomes: reruns of a wall-clock timeout
+	// or a canceled run might succeed, so those must not be pinned.
+	if res.Err == nil || (errors.Is(res.Err, core.ErrBudget) &&
+		!errors.Is(res.Err, core.ErrDeadline) && !errors.Is(res.Err, core.ErrCanceled)) {
+		s.store.Put(key, blob)
+	}
+	return flightResult{status: http.StatusOK, body: append(blob, '\n')}
+}
+
+// lookupResult fetches and decodes a cached response blob, counting the
+// outcome. A blob that fails to decode is corrupt: it is deleted and
+// counted (resultCorrupt) so the caller recomputes once instead of every
+// subsequent request paying a failed unmarshal. Without the delete, a
+// rerun that ends in a wall-clock timeout (which never publishes) would
+// leave the garbage blob in place forever. Shared by /analyze and /query.
+func (s *Server) lookupResult(key store.Key, out any, hits, misses *atomic.Int64) bool {
+	if blob, ok := s.store.Get(key); ok {
+		if err := json.Unmarshal(blob, out); err == nil {
+			hits.Add(1)
+			return true
+		}
+		s.store.Delete(key)
+		s.resultCorrupt.Add(1)
+	}
+	misses.Add(1)
+	return false
+}
+
+// handleHealthz is the liveness probe. It exercises the store's disk
+// tier (write, read back, remove a sentinel) so a dead or full disk
+// turns the daemon unhealthy instead of silently degrading every
+// request to a cache miss.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Probe(); err != nil {
+		s.probeFailures.Add(1)
+		s.httpError(w, http.StatusServiceUnavailable, "store probe failed: %v", err)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is the readiness probe: unready while draining (so load
+// balancers stop sending work during shutdown) and while the admission
+// gate is saturated (every slot busy and the queue full).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.gate.saturated() {
+		s.httpError(w, http.StatusServiceUnavailable, "saturated")
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.writeJSON(w, statsResponse{
+		Requests:      s.requests.Load(),
+		ResultHits:    s.resultHits.Load(),
+		ResultMisses:  s.resultMisses.Load(),
+		ResultCorrupt: s.resultCorrupt.Load(),
+		Incremental: incrementalStats{
+			RestoredRuns:   s.restoredRuns.Load(),
+			RelaxedRuns:    s.relaxedRuns.Load(),
+			FailedRestores: s.failedRestores.Load(),
+			SummaryHits:    s.summaryHits.Load(),
+			SummaryMisses:  s.summaryMisses.Load(),
+		},
+		Query: s.queryStatsSnapshot(),
+		Robustness: robustnessStats{
+			EngineRuns:      s.engineRuns.Load(),
+			Coalesced:       s.flights.coalesced.Load(),
+			Shed:            s.gate.shed.Load(),
+			CanceledRuns:    s.canceledRuns.Load(),
+			Timeouts:        s.timeouts.Load(),
+			InFlight:        s.gate.inFlight.Load(),
+			InFlightPeak:    s.gate.peak.Load(),
+			QueueDepth:      s.gate.queued.Load(),
+			Draining:        s.draining.Load(),
+			ProbeFailures:   s.probeFailures.Load(),
+			EncodeFailures:  s.encodeFailures.Load(),
+			OversizedBodies: s.oversizedBodies.Load(),
+		},
+		Store: s.store.Stats(),
+	})
+}

@@ -1,4 +1,4 @@
-package main
+package swiftd
 
 import (
 	"bytes"
@@ -37,14 +37,19 @@ class Worker {
 }
 `
 
-func newTestServer(t *testing.T) (*server, *httptest.Server) {
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	return newTestServerOpts(t, Options{Quiet: true})
+}
+
+func newTestServerOpts(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
 	st, err := store.Open(t.TempDir(), 1<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(st)
-	ts := httptest.NewServer(srv.handler())
+	srv := New(st, opts)
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
 }
@@ -328,16 +333,5 @@ func TestIncrementalTelemetryAcrossVersions(t *testing.T) {
 	}
 	if stats.Incremental.FailedRestores != 0 {
 		t.Errorf("incremental stats = %+v, want no failed restores", stats.Incremental)
-	}
-}
-
-// TestDaemonMainFlagErrors pins the CLI exit codes: bad flags and stray
-// arguments exit 2 without starting a server.
-func TestDaemonMainFlagErrors(t *testing.T) {
-	if got := daemonMain([]string{"-nonsense"}); got != 2 {
-		t.Errorf("bad flag exit = %d, want 2", got)
-	}
-	if got := daemonMain([]string{"stray"}); got != 2 {
-		t.Errorf("stray argument exit = %d, want 2", got)
 	}
 }
