@@ -15,7 +15,11 @@
 // and in total on stderr. -sliceworkers bounds how many slices a single
 // -slices run analyzes concurrently (default GOMAXPROCS); the sliced table
 // too is byte-identical at any setting. -rawcfg and -nomemo time the
-// superblock/memo ablations; they likewise leave every table byte-identical.
+// superblock/memo ablations; -nosparse falls back to the dense FIFO
+// worklist and -nostruct keeps the sparse scheduler but ignores loop
+// structure (plain RPO batching, no region memoization). All four
+// ablations leave every table byte-identical — only timing and the stderr
+// telemetry change.
 // -cpuprofile/-memprofile write pprof profiles; every engine run is labeled
 // with its suite, engine and (when sliced) slice, so `go tool pprof -tags`
 // attributes samples.
@@ -94,37 +98,39 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("swiftbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		tableN     = fs.Int("table", 0, "render table 1–4")
-		figureN    = fs.Int("figure", 0, "render figure 5")
-		all        = fs.Bool("all", false, "render every table and figure")
-		quick      = fs.Bool("quick", false, "use reduced budgets (smoke run)")
-		taint      = fs.Bool("taint", false, "run the kill/gen taint client generality experiment")
-		ablation   = fs.Bool("ablation", false, "run the re-summarization ablation")
-		verify     = fs.Bool("verify", false, "assert the paper's completion pattern holds")
-		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent engine runs (1 = serial)")
-		slices     = fs.Bool("slices", false, "render the site-sliced vs monolithic cost table")
-		sliceWkrs  = fs.Int("sliceworkers", runtime.GOMAXPROCS(0), "max concurrent slices per -slices run (1 = serial)")
-		rawcfg     = fs.Bool("rawcfg", false, "run order-insensitive solvers on the uncompressed CFG view (A/B ablation; tables are identical, only timing changes)")
-		nomemo     = fs.Bool("nomemo", false, "disable the per-superedge transfer caches (A/B ablation)")
-		record     = fs.String("record", "", "record one live swift-async schedule per benchmark into this directory")
-		replay     = fs.String("replay", "", "render the swift-async table by deterministically replaying the traces in this directory")
-		warmbench  = fs.Bool("warmbench", false, "run the cold-vs-warm summary-store benchmark")
-		editbench  = fs.Bool("editbench", false, "run the edit-stream incremental re-analysis benchmark")
-		editBench  = fs.String("editbenchmark", "toba-s", "benchmark the -editbench edit stream mutates")
-		editN      = fs.Int("edits", 4, "number of edits in the -editbench stream")
-		editSeed   = fs.Int64("editseed", 7, "seed of the -editbench edit stream")
-		querybench = fs.Bool("querybench", false, "run the demand-vs-exhaustive point-query benchmark")
-		queryN     = fs.Int("queries", 2000, "number of seeded queries per -querybench stream")
-		querySeed  = fs.Int64("queryseed", 1, "seed of the -querybench query stream")
-		queryKinds = fs.String("querykinds", "", "comma-separated query kinds for -querybench (default: all of canReach,statesAt,isError)")
-		queryBench = fs.String("querybenchmark", "", "restrict -querybench to one benchmark (default: full suite)")
+		tableN      = fs.Int("table", 0, "render table 1–4")
+		figureN     = fs.Int("figure", 0, "render figure 5")
+		all         = fs.Bool("all", false, "render every table and figure")
+		quick       = fs.Bool("quick", false, "use reduced budgets (smoke run)")
+		taint       = fs.Bool("taint", false, "run the kill/gen taint client generality experiment")
+		ablation    = fs.Bool("ablation", false, "run the re-summarization ablation")
+		verify      = fs.Bool("verify", false, "assert the paper's completion pattern holds")
+		parallel    = fs.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent engine runs (1 = serial)")
+		slices      = fs.Bool("slices", false, "render the site-sliced vs monolithic cost table")
+		sliceWkrs   = fs.Int("sliceworkers", runtime.GOMAXPROCS(0), "max concurrent slices per -slices run (1 = serial)")
+		rawcfg      = fs.Bool("rawcfg", false, "run order-insensitive solvers on the uncompressed CFG view (A/B ablation; tables are identical, only timing changes)")
+		nomemo      = fs.Bool("nomemo", false, "disable the per-superedge transfer caches (A/B ablation)")
+		nosparse    = fs.Bool("nosparse", false, "run order-insensitive solvers on the dense FIFO worklist instead of the structure-driven sparse scheduler (A/B ablation)")
+		nostruct    = fs.Bool("nostruct", false, "keep the sparse scheduler but ignore loop structure: plain RPO batching, no region memoization (A/B ablation)")
+		record      = fs.String("record", "", "record one live swift-async schedule per benchmark into this directory")
+		replay      = fs.String("replay", "", "render the swift-async table by deterministically replaying the traces in this directory")
+		warmbench   = fs.Bool("warmbench", false, "run the cold-vs-warm summary-store benchmark")
+		editbench   = fs.Bool("editbench", false, "run the edit-stream incremental re-analysis benchmark")
+		editBench   = fs.String("editbenchmark", "toba-s", "benchmark the -editbench edit stream mutates")
+		editN       = fs.Int("edits", 4, "number of edits in the -editbench stream")
+		editSeed    = fs.Int64("editseed", 7, "seed of the -editbench edit stream")
+		querybench  = fs.Bool("querybench", false, "run the demand-vs-exhaustive point-query benchmark")
+		queryN      = fs.Int("queries", 2000, "number of seeded queries per -querybench stream")
+		querySeed   = fs.Int64("queryseed", 1, "seed of the -querybench query stream")
+		queryKinds  = fs.String("querykinds", "", "comma-separated query kinds for -querybench (default: all of canReach,statesAt,isError)")
+		queryBench  = fs.String("querybenchmark", "", "restrict -querybench to one benchmark (default: full suite)")
 		soak        = fs.Bool("soak", false, "run the swiftd concurrent-load soak smoke (coalescing, shedding, cancellation, drain)")
 		soakClients = fs.Int("soakclients", 0, "concurrent clients in the -soak coalesce wave (0 = default)")
 		storedir    = fs.String("storedir", "", "persistent store directory for -warmbench/-editbench (empty = memory-only)")
-		faultevery = fs.Int64("faultevery", 0, "chaos mode: inject roughly one seeded client fault per N operations into every run (0 = off)")
-		faultseed  = fs.Uint64("faultseed", 1, "seed for -faultevery's fault schedule")
-		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		faultevery  = fs.Int64("faultevery", 0, "chaos mode: inject roughly one seeded client fault per N operations into every run (0 = off)")
+		faultseed   = fs.Uint64("faultseed", 1, "seed for -faultevery's fault schedule")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -144,6 +150,11 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintf(stderr, "swiftbench: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	if *nosparse && *nostruct {
+		fmt.Fprintf(stderr, "swiftbench: -nostruct is only meaningful without -nosparse (the dense worklist has no structure to ignore)\n")
 		fs.Usage()
 		return 2
 	}
@@ -211,6 +222,8 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	}
 	budget.RawCFG = *rawcfg
 	budget.NoTransferMemo = *nomemo
+	budget.NoSparse = *nosparse
+	budget.NoStructIndex = *nostruct
 	budget.FaultEvery = *faultevery
 	budget.FaultSeed = *faultseed
 	s := bench.NewSuite()

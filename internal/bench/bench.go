@@ -48,6 +48,13 @@ type Budget struct {
 	RawCFG         bool
 	NoTransferMemo bool
 
+	// NoSparse and NoStructIndex forward the sparse-scheduler ablation
+	// knobs: dense FIFO fact draining, or sparse draining without the
+	// loop-structure index (plain RPO batching, no region memoization).
+	// Like RawCFG, result tables are identical either way.
+	NoSparse      bool
+	NoStructIndex bool
+
 	// FaultEvery, when positive, arms a seeded fault-injection plan on
 	// every engine run (roughly one injected fault per FaultEvery client
 	// operations, drawn from FaultSeed): a chaos-smoke mode proving the
@@ -91,6 +98,8 @@ func (b Budget) config(k, theta int) core.Config {
 	cfg.Timeout = b.Timeout
 	cfg.RawCFG = b.RawCFG
 	cfg.NoTransferMemo = b.NoTransferMemo
+	cfg.NoSparse = b.NoSparse
+	cfg.NoStructIndex = b.NoStructIndex
 	if b.FaultEvery > 0 {
 		cfg.Fault = core.SeededFaultPlan(b.FaultSeed, b.FaultEvery)
 	}
@@ -274,6 +283,18 @@ func (s *Suite) RunConfig(name, engine string, cfg core.Config) (*EngineRun, err
 	}
 	s.telemetry("run %-10s %-6s k=%-3d θ=%-3d wall=%-8s (build+run) cost=%s\n",
 		name, engine, cfg.K, cfg.Theta, fmtDur(wall), fmtDur(run.Cost))
+	if res.TD != nil && res.TD.Sparse.Enabled {
+		// Structure telemetry of the sparse scheduler. pops compares the
+		// priority worklist's node activations against the dense solver's
+		// per-fact pops (== Steps at completion); skipped counts facts the
+		// dirty frontier installed by region replay without ever scheduling
+		// their nodes.
+		sp := res.TD.Sparse
+		s.telemetry("  struct %-10s %-6s regions=%d depth=%d memo=%d pops=%d/%d skipped=%d stale=%d rmemo=%d/%d/%d\n",
+			name, engine, sp.Regions, sp.MaxDepth, sp.MemoRegions,
+			sp.Pops, res.TD.Steps, sp.ReplayFacts, sp.StalePops,
+			sp.RegionHits, sp.RegionMisses, sp.RegionFallbacks)
+	}
 	return run, nil
 }
 

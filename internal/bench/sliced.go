@@ -17,7 +17,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"runtime/pprof"
+	"sync"
 	"time"
 
 	"swift/internal/core"
@@ -95,6 +97,18 @@ func (s *Suite) RunSlicedConfig(name, engine string, cfg core.Config) (*SlicedRu
 // slice (the cost floor at unlimited workers); DNF marks a run — or any
 // slice of it — that exhausted a budget.
 func (s *Suite) SlicedTable(w io.Writer, budget Budget, workers int) error {
+	// On a single-core host the sliced runs execute one after another: each
+	// already fans out over its slices, and stacking the suite pool on top
+	// would only add scheduling churn. With real cores available the
+	// benchmark cells go on the suite pool like every other experiment —
+	// serializing there left multi-core hosts idle (the PR 5 note in
+	// ROADMAP.md kept it always-on as a dodge, which was the bug).
+	return s.slicedTable(w, budget, workers, runtime.GOMAXPROCS(0) == 1)
+}
+
+// slicedTable is SlicedTable with the suite-serialization decision
+// explicit, so tests can pin that both paths render identical bytes.
+func (s *Suite) slicedTable(w io.Writer, budget Budget, workers int, serialize bool) error {
 	names := s.sortedNames()
 	mono := make([]*EngineRun, len(names)*len(slicedEngines))
 	var jobs []func() error
@@ -116,21 +130,55 @@ func (s *Suite) SlicedTable(w io.Writer, budget Budget, workers int) error {
 	if err := s.forEach(jobs); err != nil {
 		return err
 	}
-	// Sliced runs execute one after another: each already fans out over
-	// its slices, and stacking the suite pool on top would oversubscribe.
 	sliced := make([]*SlicedRun, len(names)*len(slicedEngines))
 	cfg := budget.config(5, 1)
 	cfg.SliceWorkers = workers
-	for i, name := range names {
-		for j, engine := range slicedEngines {
-			run, err := s.RunSlicedConfig(name, engine, cfg)
-			if err != nil {
-				return err
-			}
-			run.Result = nil
-			sliced[i*len(slicedEngines)+j] = run
+	runSliced := func(i, j int) error {
+		run, err := s.RunSlicedConfig(names[i], slicedEngines[j], cfg)
+		if err != nil {
+			return err
 		}
-		s.Release(name)
+		run.Result = nil
+		sliced[i*len(slicedEngines)+j] = run
+		return nil
+	}
+	if serialize {
+		for i, name := range names {
+			for j := range slicedEngines {
+				if err := runSliced(i, j); err != nil {
+					return err
+				}
+			}
+			s.Release(name)
+		}
+	} else {
+		// Per-benchmark release accounting keeps the memory footprint flat
+		// on the pool too: the last engine cell of a benchmark releases it.
+		var mu sync.Mutex
+		left := make([]int, len(names))
+		for i := range left {
+			left[i] = len(slicedEngines)
+		}
+		var sjobs []func() error
+		for i := range names {
+			for j := range slicedEngines {
+				i, j := i, j
+				sjobs = append(sjobs, func() error {
+					err := runSliced(i, j)
+					mu.Lock()
+					left[i]--
+					done := left[i] == 0
+					mu.Unlock()
+					if done {
+						s.Release(names[i])
+					}
+					return err
+				})
+			}
+		}
+		if err := s.forEach(sjobs); err != nil {
+			return err
+		}
 	}
 	cell := func(ok bool, d time.Duration) string {
 		if !ok {

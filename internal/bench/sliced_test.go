@@ -49,6 +49,27 @@ func TestSlicedTableWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// TestSlicedTableSerializationGate pins the suite-scheduling fix: running
+// the sliced cells serially is a single-core fallback, not part of the
+// table's semantics, so the serialized and pooled dispatch paths must
+// render byte-identical tables.
+func TestSlicedTableSerializationGate(t *testing.T) {
+	budget := QuickBudget()
+	var tables []string
+	for _, serialize := range []bool{true, false} {
+		s := smallSuite(3)
+		var b strings.Builder
+		if err := s.slicedTable(&b, budget, 2, serialize); err != nil {
+			t.Fatalf("serialize=%v: %v", serialize, err)
+		}
+		tables = append(tables, b.String())
+	}
+	if tables[0] != tables[1] {
+		t.Errorf("sliced table differs between serialized and pooled dispatch:\n--- serialized:\n%s--- pooled:\n%s",
+			tables[0], tables[1])
+	}
+}
+
 // benchmarkSliced measures one full sliced swift run (fresh pipeline each
 // iteration, like the harness) at a fixed worker count; compare against
 // BenchmarkSlicedMonolithic for the state-space win and across worker

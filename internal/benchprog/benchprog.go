@@ -68,6 +68,14 @@ type Profile struct {
 	// SloppyEvery makes every Nth app method misuse the protocol
 	// (a genuine double-open), 0 for never.
 	SloppyEvery int
+	// LoopNest is the nesting depth of each util body's read loop: depth 1
+	// (or 0) keeps the paper shape — a single while — while larger values
+	// wrap it in further while loops, each level reading the file again.
+	// The knob exists to stress the loop-structure index behind the sparse
+	// tabulation scheduler (deep nests exercise region priorities and
+	// region-level memoization); it leaves the protocol behaviour of the
+	// body unchanged.
+	LoopNest int
 	// Dispatch adds a registry class and routes every Nth utility call
 	// through it, merging utility variants into multi-target virtual
 	// calls; 0 disables.
@@ -180,12 +188,23 @@ func (g *generator) utilBody(k, variant int) *hir.Block {
 			Else: &hir.Block{Stmts: []hir.Stmt{&hir.Assign{Dst: y, Src: "g"}}},
 		})
 	}
-	// Protocol-correct use of f.
+	// Protocol-correct use of f. LoopNest > 1 deepens the read loop into a
+	// nest; each outer level re-reads the file and carries a per-level
+	// local copy, so every level is a distinct loop region rather than a
+	// chain the superblock view would collapse.
+	loop := hir.Stmt(&hir.While{Body: &hir.Block{Stmts: []hir.Stmt{
+		&hir.CallStmt{Recv: "f", Method: "read"},
+	}}})
+	for d := 1; d < g.p.LoopNest; d++ {
+		loop = &hir.While{Body: &hir.Block{Stmts: []hir.Stmt{
+			loop,
+			&hir.Assign{Dst: fmt.Sprintf("l%d", d), Src: "f"},
+			&hir.CallStmt{Recv: "f", Method: "read"},
+		}}}
+	}
 	b.Stmts = append(b.Stmts,
 		&hir.CallStmt{Recv: "f", Method: "open"},
-		&hir.While{Body: &hir.Block{Stmts: []hir.Stmt{
-			&hir.CallStmt{Recv: "f", Method: "read"},
-		}}},
+		loop,
 		&hir.CallStmt{Recv: "f", Method: "close"},
 	)
 	// Forward down the chain with the files swapped, so deeper layers see

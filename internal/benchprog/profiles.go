@@ -95,9 +95,34 @@ func Profiles() []Profile {
 	}
 }
 
-// ProfileByName returns the named profile, or false.
+// ExtraProfiles returns fixture programs outside the paper's Table 1 set.
+// They are reachable through ProfileByName and used by the equivalence and
+// structure tests, but deliberately excluded from Profiles() so the
+// 12-row result tables (and their stored digests) stay stable.
+func ExtraProfiles() []Profile {
+	return []Profile{
+		{
+			// deep-nest stresses the loop-structure index behind the sparse
+			// scheduler: every util body runs a depth-6 loop nest, so the
+			// structure index sees real region hierarchies instead of the
+			// single-loop shape the Table 1 profiles produce.
+			Name: "deep-nest", Desc: "deep loop-nest structure stress", Seed: 201,
+			Utils: 3, UtilVariants: 1, AliasTangle: 2, LoopNest: 6,
+			AppClasses: 3, MethodsPerClass: 3, CallsPerMethod: 2, PoolFiles: 8,
+			CrossCalls: 1, SloppyEvery: 7, Dispatch: 0,
+		},
+	}
+}
+
+// ProfileByName returns the named profile — from Profiles or ExtraProfiles
+// — or false.
 func ProfileByName(name string) (Profile, bool) {
 	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range ExtraProfiles() {
 		if p.Name == name {
 			return p, true
 		}

@@ -21,9 +21,10 @@
 //   - RunSwift: Algorithm 1 of the paper, the hybrid analysis with
 //     thresholds k and θ.
 //
-// All solvers are deterministic: worklists are FIFO and every set iteration
-// is over sorted keys, so repeated runs on the same program produce
-// identical results and identical counters.
+// All solvers are deterministic: worklists are FIFO (or, for the sparse
+// scheduler, a priority order fixed by the program's structure) and every
+// set iteration is over sorted keys, so repeated runs on the same program
+// produce identical results and identical counters.
 package core
 
 import (
@@ -208,6 +209,24 @@ type Config struct {
 	// traversal call the client afresh — the pre-memoization behaviour.
 	// Like RawCFG, results and counters are identical either way.
 	NoTransferMemo bool
+
+	// NoSparse forces the order-insensitive solvers (RunTD, and RunBU's
+	// instantiation pass) onto the dense FIFO fact worklist instead of the
+	// structure-driven sparse scheduler (sparse.go). Both schedulers
+	// produce identical result tables and identical counters — budgets and
+	// Steps are counted in original-graph units either way — so, like
+	// RawCFG, this is an A/B knob for benchmarking and the equivalence
+	// property tests, not a semantic switch. The hybrid engines always run
+	// dense regardless (their trigger sampling is order-sensitive).
+	NoSparse bool
+
+	// NoStructIndex keeps the sparse scheduler but strips its use of the
+	// loop-structure index: nodes drain in plain reverse postorder with no
+	// region priority, and region-level closure memoization is disabled.
+	// An ablation knob isolating the structure index's contribution from
+	// plain batched RPO draining; results and counters are identical
+	// either way. Implied moot when NoSparse is set.
+	NoStructIndex bool
 
 	// Fault, when non-nil, arms the deterministic fault-injection layer:
 	// every engine entry point wraps the client so the plan's scheduled

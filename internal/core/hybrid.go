@@ -24,6 +24,13 @@ type Analysis[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
 	rawView  *ir.CFGView
 	compView *ir.CFGView
 
+	// rawStruct and compStruct are the loop-structure indexes of the two
+	// views, built lazily for the sparse scheduler. Pure graph structure,
+	// so — like the views — one instance is shared by every run, including
+	// concurrent sliced runs (RunSliceSet pre-builds them).
+	rawStruct  *ir.StructIndex
+	compStruct *ir.StructIndex
+
 	// Warm, when non-nil, is consulted before every run_bu invocation and
 	// offered every deterministic outcome (see warm.go). Sliced runs do not
 	// inherit it: RunSliced's per-slice analyses are built without it, as
@@ -66,6 +73,26 @@ func (a *Analysis[S, R, P]) tdView(config Config) *ir.CFGView {
 		a.compView = ir.CompressedView(a.CFG)
 	}
 	return a.compView
+}
+
+// sparseIndex returns the structure index matching tdView(config), or nil
+// when the sparse scheduler is disabled (Config.NoSparse). Only the
+// order-insensitive solvers call it; the hybrids always pass newTDSolver a
+// nil index (see RunSwift).
+func (a *Analysis[S, R, P]) sparseIndex(config Config) *ir.StructIndex {
+	if config.NoSparse {
+		return nil
+	}
+	if config.RawCFG {
+		if a.rawStruct == nil {
+			a.rawStruct = ir.BuildStructIndex(a.raw())
+		}
+		return a.rawStruct
+	}
+	if a.compStruct == nil {
+		a.compStruct = ir.BuildStructIndex(a.tdView(config))
+	}
+	return a.compStruct
 }
 
 // Result is the outcome of one engine run.
@@ -162,7 +189,7 @@ func (r *Result[S, R, P]) ExitStates(entry string, initial S) []S {
 func (a *Analysis[S, R, P]) RunTD(initial S, config Config) *Result[S, R, P] {
 	start := time.Now()
 	client := effectiveClient(a.Client, config)
-	t := newTDSolver(client, a.tdView(config), config, nil)
+	t := newTDSolver(client, a.tdView(config), config, nil, a.sparseIndex(config))
 	res := &Result[S, R, P]{Engine: "td", TD: t.res}
 	err := func() (err error) {
 		defer contain(&err)
@@ -206,7 +233,7 @@ func (a *Analysis[S, R, P]) RunBU(initial S, config Config) *Result[S, R, P] {
 		}
 		res.BU = eta
 		inst := &buInstantiator[S, R, P]{client: client, eta: eta, res: res}
-		t := newTDSolver(client, a.tdView(config), config, inst)
+		t := newTDSolver(client, a.tdView(config), config, inst, a.sparseIndex(config))
 		res.TD = t.res
 		if err := t.seed(initial); err != nil {
 			return err
@@ -254,8 +281,10 @@ func (a *Analysis[S, R, P]) RunSwift(initial S, config Config) *Result[S, R, P] 
 	}
 	// The hybrid engine steps the raw view: trigger timing depends on pop
 	// order, which compression would change (see tdView). It still gets the
-	// transfer memo, whose hits replay raw Trans output bit-for-bit.
-	t := newTDSolver(client, a.raw(), config, h)
+	// transfer memo, whose hits replay raw Trans output bit-for-bit. For
+	// the same reason the sparse scheduler stays off here (nil index):
+	// reordering pops would move the EntrySeen samples triggers rank by.
+	t := newTDSolver(client, a.raw(), config, h, nil)
 	h.td = t
 	res.TD = t.res
 	err := func() (err error) {

@@ -191,6 +191,7 @@ func (a *Analysis[S, R, P]) withClient(client Client[S, R, P]) *Analysis[S, R, P
 	return &Analysis[S, R, P]{
 		Client: client, Prog: a.Prog, CFG: a.CFG,
 		rawView: a.rawView, compView: a.compView,
+		rawStruct: a.rawStruct, compStruct: a.compStruct,
 	}
 }
 
@@ -221,12 +222,14 @@ func (a *Analysis[S, R, P]) RunSliceSet(engine string, config Config, subset []S
 	if !ok {
 		return nil, fmt.Errorf("core: client %T does not support slicing", a.Client)
 	}
-	// Build the traversal views the engine will use on this goroutine,
-	// before any worker can race to build them lazily. Views are immutable
-	// once built, so the slice runs share them freely.
+	// Build the traversal views (and, for the order-insensitive engines,
+	// the structure index) the engine will use on this goroutine, before
+	// any worker can race to build them lazily. Both are immutable once
+	// built, so the slice runs share them freely.
 	switch engine {
 	case "td", "bu":
 		a.tdView(config)
+		a.sparseIndex(config)
 	case "swift", "swift-async":
 		a.raw()
 	default:

@@ -3,7 +3,14 @@ package core_test
 // Tabulation hot-path benchmarks on the paper-mirror programs:
 //
 //   - BenchmarkTabulationCompressed — the shipped solver: superblock view,
-//     chain transfer memo, per-node map[in]sortedSet path-edge table.
+//     chain transfer memo, per-node map[in]sortedSet path-edge table,
+//     structure-driven sparse scheduler (DESIGN.md §13).
+//   - BenchmarkTabulationDense — A/B control: the shipped solver with the
+//     sparse scheduler off (Config.NoSparse), i.e. the dense FIFO that was
+//     the shipped configuration before the structure layer.
+//   - BenchmarkTabulationNoStruct — A/B control: sparse scheduler without
+//     the loop-structure index (Config.NoStructIndex): plain RPO batching,
+//     no region memoization.
 //   - BenchmarkTabulationRaw — the pre-optimization solver preserved in
 //     legacy_bench_test.go: one edge per traversal, map[pathPair]bool
 //     table, no memo. This is the "before" the ratio is measured against.
@@ -26,9 +33,11 @@ import (
 	"swift/internal/driver"
 )
 
-// tabulationProfiles are the paper-mirror programs used for the benchmark:
-// small, medium and the largest profiles the TD baseline completes quickly.
-var tabulationProfiles = []string{"jpat-p", "elevator", "toba-s", "javasrc-p"}
+// tabulationProfiles are the paper-mirror programs used for the benchmark
+// (small, medium and the largest profiles the TD baseline completes
+// quickly) plus deep-nest, the loop-structure stress fixture where region
+// memoization carries most of the propagation.
+var tabulationProfiles = []string{"jpat-p", "elevator", "toba-s", "javasrc-p", "deep-nest"}
 
 func tabulationBuild(tb testing.TB, name string) *driver.Build {
 	tb.Helper()
@@ -68,6 +77,33 @@ func BenchmarkTabulationCompressed(b *testing.B) {
 		})
 	}
 }
+
+// tabulationKnob benchmarks the shipped solver with one scheduler knob
+// set — the -nosparse/-nostruct ablation controls.
+func tabulationKnob(b *testing.B, noSparse, noIdx bool) {
+	for _, name := range tabulationProfiles {
+		b.Run(name, func(b *testing.B) {
+			bl := tabulationBuild(b, name)
+			cfg := core.TDConfig()
+			cfg.NoSparse = noSparse
+			cfg.NoStructIndex = noIdx
+			if res, err := bl.Run("td", cfg); err != nil || res.Err != nil {
+				b.Fatalf("warmup: %v / %v", err, res.Err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := bl.Run("td", cfg)
+				if err != nil || res.Err != nil {
+					b.Fatalf("%v / %v", err, res.Err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTabulationDense(b *testing.B)    { tabulationKnob(b, true, false) }
+func BenchmarkTabulationNoStruct(b *testing.B) { tabulationKnob(b, false, true) }
 
 func BenchmarkTabulationRaw(b *testing.B) {
 	for _, name := range tabulationProfiles {

@@ -46,11 +46,17 @@ type TDResult[S cmp.Ordered] struct {
 	// raw solver's insert at that node would have.
 	NumPathEdges int
 	NumSummaries int
-	// Steps counts worklist pops (a machine-independent cost measure), plus
-	// — on the compressed view — one unit per new interior-node fact, which
-	// is the pop the raw solver would have performed for it. At completion
-	// Steps therefore equals NumPathEdges on either view.
+	// Steps counts propagation work in original-graph units. On the dense
+	// paths it counts worklist pops (one per fact), plus — on the
+	// compressed view — one unit per new interior-node fact, which is the
+	// pop the raw solver would have performed for it. The sparse scheduler
+	// batches pops, so it charges one unit per inserted fact directly. At
+	// completion Steps therefore equals NumPathEdges under every scheduler
+	// and view.
 	Steps int
+	// Sparse reports the sparse scheduler's telemetry (zero value when the
+	// run was dense). Observational only: excluded from EncodeTDResult.
+	Sparse SparseStats
 
 	// version counts path-edge insertions; the snapshot caches below are
 	// dropped when it moves. The accessors memoize because clients call
@@ -209,7 +215,11 @@ type tdSolver[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered] struct {
 	// for the hybrid engines' bit-exact memo replay.
 	compiler TransCompiler[S]
 	cchains  [][]func(S, []S) []S
-	dl       deadline
+	// sp is the sparse scheduler state, nil for a dense run. Set only by
+	// the order-insensitive engines (td, bu): the hybrids observe pop
+	// order through their trigger sampling and always run dense.
+	sp *sparseState[S]
+	dl deadline
 }
 
 type workItem[S cmp.Ordered] struct {
@@ -222,8 +232,13 @@ type workItem[S cmp.Ordered] struct {
 // sized by the largest burst would otherwise be pinned for the whole run.
 const maxRetainedWork = 1 << 14
 
+// newTDSolver builds a solver over the view. sidx, when non-nil, selects
+// the sparse scheduler (see sparse.go); it must be a structure index of the
+// same view. Callers whose result order is observable mid-run (the hybrid
+// engines) must pass nil.
 func newTDSolver[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
 	client Client[S, R, P], view *ir.CFGView, config Config, hook interceptor[S],
+	sidx *ir.StructIndex,
 ) *tdSolver[S, R, P] {
 	cfg := view.CFG
 	res := &TDResult[S]{
@@ -252,6 +267,9 @@ func newTDSolver[S cmp.Ordered, R cmp.Ordered, P cmp.Ordered](
 			t.compiler = tc
 			t.cchains = make([][]func(S, []S) []S, view.NumSuperEdges)
 		}
+	}
+	if sidx != nil {
+		t.sp = newSparseState[S](sidx, config, &res.Sparse)
 	}
 	return t
 }
@@ -288,6 +306,11 @@ func (t *tdSolver[S, R, P]) insertFact(node int, in, out S) (bool, error) {
 	m[in] = outs
 	t.res.version++
 	t.res.NumPathEdges++
+	if t.sp != nil {
+		// The sparse scheduler pops per node batch, not per fact; charge
+		// the fact's step here so Steps stays in original-graph units.
+		t.res.Steps++
+	}
 	if t.res.NumPathEdges > t.config.MaxPathEdges {
 		return true, ErrBudget
 	}
@@ -299,6 +322,10 @@ func (t *tdSolver[S, R, P]) propagate(node int, in, out S) error {
 	added, err := t.insertFact(node, in, out)
 	if err != nil || !added {
 		return err
+	}
+	if t.sp != nil {
+		t.sp.enqueue(node, pathPair[S]{in: in, out: out})
+		return nil
 	}
 	t.work = append(t.work, workItem[S]{node: node, edge: pathPair[S]{in: in, out: out}})
 	return nil
@@ -329,6 +356,9 @@ func (t *tdSolver[S, R, P]) insertFactSet(node int, in S, states sortedSet[S]) (
 	}
 	m[in] = merged
 	t.res.version++
+	if t.sp != nil {
+		t.res.Steps += len(added) // per-fact step charge; see insertFact
+	}
 	if len(added) > t.config.MaxPathEdges-t.res.NumPathEdges {
 		t.res.NumPathEdges = t.config.MaxPathEdges + 1
 		return added, ErrBudget
@@ -343,7 +373,9 @@ func (t *tdSolver[S, R, P]) insertFactSet(node int, in S, states sortedSet[S]) (
 // are charged here, keeping Steps in original-graph units.
 func (t *tdSolver[S, R, P]) recordInteriorSet(node int, in S, states sortedSet[S]) (int, error) {
 	added, err := t.insertFactSet(node, in, states)
-	t.res.Steps += len(added)
+	if t.sp == nil {
+		t.res.Steps += len(added) // sparse charged these in insertFactSet
+	}
 	if err != nil {
 		return len(added), err
 	}
@@ -357,6 +389,12 @@ func (t *tdSolver[S, R, P]) recordInteriorSet(node int, in S, states sortedSet[S
 // ones.
 func (t *tdSolver[S, R, P]) propagateSet(node int, in S, states sortedSet[S]) error {
 	added, err := t.insertFactSet(node, in, states)
+	if t.sp != nil {
+		for _, s := range added {
+			t.sp.enqueue(node, pathPair[S]{in: in, out: s})
+		}
+		return err
+	}
 	for _, s := range added {
 		t.work = append(t.work, workItem[S]{node: node, edge: pathPair[S]{in: in, out: s}})
 	}
@@ -372,6 +410,9 @@ func (t *tdSolver[S, R, P]) seed(initial S) error {
 
 // run drains the worklist to a fixpoint.
 func (t *tdSolver[S, R, P]) run() error {
+	if t.sp != nil {
+		return t.runSparse()
+	}
 	for t.head < len(t.work) {
 		item := t.work[t.head]
 		// Zero the popped slot: the backing array survives across the

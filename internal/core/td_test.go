@@ -31,7 +31,7 @@ func tdFixture(t *testing.T, config Config) (*tdSolver[string, string, string], 
 		Sinks:   []string{"sink"},
 	})
 	view := ir.CompressedView(ir.BuildCFG(prog))
-	return newTDSolver[string, string, string](taint, view, config, nil), taint
+	return newTDSolver[string, string, string](taint, view, config, nil, nil), taint
 }
 
 // TestRunZeroesPoppedWorkItems pins the fix for the worklist retention bug:

@@ -101,6 +101,8 @@ func keyTemplate(b *Build, engine string, cfg core.Config) store.Key {
 		Theta:          cfg.Theta,
 		RawCFG:         cfg.RawCFG,
 		NoTransferMemo: cfg.NoTransferMemo,
+		NoSparse:       cfg.NoSparse,
+		NoStructIndex:  cfg.NoStructIndex,
 	}
 }
 

@@ -1,0 +1,296 @@
+package ir
+
+import "sort"
+
+// This file builds the per-procedure structure index consumed by the sparse
+// tabulation scheduler (internal/core): reverse-postorder numbering over a
+// CFGView plus the loop-nest hierarchy of natural loops, with per-region
+// member sets kept in original-graph terms. The index is pure graph
+// structure — it never inspects abstract states — so, like the view itself,
+// one index is built per view and shared by every run over it (including
+// concurrent sliced runs; see core.RunSliceSet's pre-build).
+
+// Region is one natural loop of a procedure, discovered from the view's
+// back edges (superedges whose target is on the DFS stack). Loops sharing a
+// header are merged, so a header identifies its region uniquely.
+type Region struct {
+	// ID is dense over the index: [0, len(Regions)).
+	ID   int
+	Proc string
+	// Header is the node ID of the loop header. For programs built by
+	// BuildCFG (structured loops, no break) it is the region's unique entry
+	// and exit boundary, but the index verifies that structurally rather
+	// than assuming it — see SingleEntry.
+	Header int
+	// Parent is the ID of the innermost enclosing region, or -1 for an
+	// outermost loop.
+	Parent int
+	// Depth is the nesting depth: 1 for an outermost loop.
+	Depth int
+	// ViewNodes lists the region's traversal points (non-interior member
+	// nodes) in reverse postorder.
+	ViewNodes []int
+	// AllNodes lists every original node inside the region: the view
+	// members plus the chain interiors of primitive superedges that begin
+	// and end inside it, sorted by ID. This is the original-graph footprint
+	// a region-level replay fills in.
+	AllNodes []int
+	// Exits lists the superedges through which facts leave the region's
+	// interior propagation: From inside with To outside, plus call edges
+	// from inside (a call must always reach the solver's interceptor). The
+	// order is deterministic: ViewNodes order, then out-edge order.
+	Exits []*SuperEdge
+	// HasCall reports whether some superedge with both ends inside the
+	// region is a call edge.
+	HasCall bool
+	// SingleEntry reports whether every superedge entering the region from
+	// outside targets Header.
+	SingleEntry bool
+	// Memoizable marks regions eligible for region-level closure
+	// memoization: single entry at the header, call-free inside, and
+	// containing neither the procedure's entry nor its exit node (seeding
+	// and summary recording must stay on the generic solver path).
+	Memoizable bool
+}
+
+// StructIndex is the loop-structure overlay of one CFGView.
+type StructIndex struct {
+	View *CFGView
+	// RPO is a reverse-postorder position per node ID, globally unique and
+	// increasing within each procedure (procedures in sorted name order).
+	// Interior nodes of compressed chains — never traversal points — hold
+	// -1.
+	RPO []int32
+	// Depth is the innermost loop-nesting depth per node ID; 0 outside all
+	// loops. Chain interiors inherit the depth of the innermost region
+	// containing their superedge.
+	Depth []int32
+	// RegionOf is the innermost region ID containing each node, or -1.
+	RegionOf []int32
+	// MemoHeader maps a node ID to the ID of the memoizable region it
+	// heads, or -1.
+	MemoHeader []int32
+	// Regions lists all loop regions, IDs dense in discovery order
+	// (procedures sorted by name, headers by RPO).
+	Regions []*Region
+	// MaxDepth is the deepest loop nesting in the program.
+	MaxDepth int
+	// MemoizableRegions counts regions with Memoizable set.
+	MemoizableRegions int
+}
+
+// BuildStructIndex computes the structure index of a view. The result
+// depends only on the view's graph, so it is deterministic and immutable
+// once built.
+func BuildStructIndex(v *CFGView) *StructIndex {
+	g := v.CFG
+	x := &StructIndex{
+		View:       v,
+		RPO:        make([]int32, g.NodeCount),
+		Depth:      make([]int32, g.NodeCount),
+		RegionOf:   make([]int32, g.NodeCount),
+		MemoHeader: make([]int32, g.NodeCount),
+	}
+	for i := 0; i < g.NodeCount; i++ {
+		x.RPO[i] = -1
+		x.RegionOf[i] = -1
+		x.MemoHeader[i] = -1
+	}
+	rpoNext := int32(0)
+	for _, name := range g.Program.ProcNames() {
+		x.buildProc(g.ByProc[name], &rpoNext)
+	}
+	for _, r := range x.Regions {
+		if r.Depth > x.MaxDepth {
+			x.MaxDepth = r.Depth
+		}
+		if r.Memoizable {
+			x.MemoizableRegions++
+		}
+	}
+	return x
+}
+
+// buildProc indexes one procedure: DFS over the view's superedges for
+// postorder and back edges, natural-loop membership per back-edge target,
+// then nesting, member sets and memoizability.
+func (x *StructIndex) buildProc(pc *ProcCFG, rpoNext *int32) {
+	v := x.View
+	const (
+		onStack byte = 1
+		visited byte = 2
+	)
+	state := map[int]byte{}
+	type frame struct {
+		node int
+		edge int
+	}
+	type backEdge struct{ from, head int }
+	var (
+		stack []frame
+		post  []int
+		backs []backEdge
+	)
+	state[pc.Entry.ID] = onStack
+	stack = append(stack, frame{node: pc.Entry.ID})
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.edge < len(v.Out[f.node]) {
+			to := v.Out[f.node][f.edge].To.ID
+			f.edge++
+			switch state[to] {
+			case 0:
+				state[to] = onStack
+				stack = append(stack, frame{node: to})
+			case onStack:
+				backs = append(backs, backEdge{from: f.node, head: to})
+			}
+			continue
+		}
+		state[f.node] = visited
+		post = append(post, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	for i := len(post) - 1; i >= 0; i-- {
+		x.RPO[post[i]] = *rpoNext
+		*rpoNext++
+	}
+	if len(backs) == 0 {
+		return
+	}
+
+	// Natural-loop membership: everything that reaches the back edge's
+	// source without passing through the header, plus the header itself.
+	preds := map[int][]int{}
+	for _, n := range post {
+		for _, se := range v.Out[n] {
+			preds[se.To.ID] = append(preds[se.To.ID], n)
+		}
+	}
+	members := map[int]map[int]bool{}
+	for _, b := range backs {
+		m := members[b.head]
+		if m == nil {
+			m = map[int]bool{b.head: true}
+			members[b.head] = m
+		}
+		if m[b.from] {
+			continue
+		}
+		m[b.from] = true
+		walk := []int{b.from}
+		for len(walk) > 0 {
+			n := walk[len(walk)-1]
+			walk = walk[:len(walk)-1]
+			for _, p := range preds[n] {
+				if !m[p] {
+					m[p] = true
+					walk = append(walk, p)
+				}
+			}
+		}
+	}
+	heads := make([]int, 0, len(members))
+	for h := range members {
+		heads = append(heads, h)
+	}
+	sort.Slice(heads, func(i, j int) bool { return x.RPO[heads[i]] < x.RPO[heads[j]] })
+
+	regs := make([]*Region, len(heads))
+	for i, h := range heads {
+		regs[i] = &Region{ID: len(x.Regions), Proc: pc.Proc, Header: h, Parent: -1, SingleEntry: true}
+		x.Regions = append(x.Regions, regs[i])
+	}
+	// Nesting: the parent of a region is the smallest other region whose
+	// member set contains its header. Structured programs produce reducible
+	// graphs, where distinct natural loops are disjoint or nested, so
+	// containment of the header implies containment of the loop.
+	innermost := func(n, skip int) int {
+		best := -1
+		for i, h := range heads {
+			if i == skip || !members[h][n] {
+				continue
+			}
+			if best == -1 || len(members[heads[best]]) > len(members[h]) {
+				best = i
+			}
+		}
+		return best
+	}
+	for i, h := range heads {
+		if p := innermost(h, i); p >= 0 {
+			regs[i].Parent = regs[p].ID
+		}
+	}
+	for i := range regs {
+		d, p := 1, regs[i].Parent
+		for p >= 0 {
+			d++
+			p = x.Regions[p].Parent
+		}
+		regs[i].Depth = d
+	}
+	for _, n := range post {
+		if i := innermost(n, -1); i >= 0 {
+			x.RegionOf[n] = int32(regs[i].ID)
+			x.Depth[n] = int32(regs[i].Depth)
+		}
+	}
+	// Member sets in RPO order, then the edge sweep: interiors, calls,
+	// exits and entry violations per region.
+	interiors := make([][]int, len(heads))
+	for i := len(post) - 1; i >= 0; i-- {
+		n := post[i]
+		for ri, h := range heads {
+			if members[h][n] {
+				regs[ri].ViewNodes = append(regs[ri].ViewNodes, n)
+			}
+		}
+		for _, se := range v.Out[n] {
+			to := se.To.ID
+			seInner := -1 // innermost region containing the whole superedge
+			for ri, h := range heads {
+				fromIn, toIn := members[h][n], members[h][to]
+				switch {
+				case fromIn && toIn:
+					if se.IsCall() {
+						regs[ri].HasCall = true
+						regs[ri].Exits = append(regs[ri].Exits, se)
+					} else {
+						for _, w := range se.Interior {
+							interiors[ri] = append(interiors[ri], w.ID)
+						}
+						if seInner == -1 || len(members[heads[seInner]]) > len(members[h]) {
+							seInner = ri
+						}
+					}
+				case fromIn:
+					regs[ri].Exits = append(regs[ri].Exits, se)
+				case toIn:
+					if to != h {
+						regs[ri].SingleEntry = false
+					}
+				}
+			}
+			if seInner >= 0 {
+				for _, w := range se.Interior {
+					x.RegionOf[w.ID] = int32(regs[seInner].ID)
+					x.Depth[w.ID] = int32(regs[seInner].Depth)
+				}
+			}
+		}
+	}
+	for ri := range regs {
+		r := regs[ri]
+		all := make([]int, 0, len(r.ViewNodes)+len(interiors[ri]))
+		all = append(all, r.ViewNodes...)
+		all = append(all, interiors[ri]...)
+		sort.Ints(all)
+		r.AllNodes = all
+		boundary := members[heads[ri]][pc.Entry.ID] || members[heads[ri]][pc.Exit.ID]
+		r.Memoizable = r.SingleEntry && !r.HasCall && !boundary
+		if r.Memoizable {
+			x.MemoHeader[r.Header] = int32(r.ID)
+		}
+	}
+}

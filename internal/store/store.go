@@ -48,9 +48,15 @@ type Key struct {
 	Engine string
 	K      int
 	Theta  int
-	// RawCFG and NoTransferMemo are the ablation knobs.
+	// RawCFG, NoTransferMemo, NoSparse and NoStructIndex are the ablation
+	// knobs. They never change result tables, but keyed runs must not
+	// alias: a cached response reports the run's own telemetry, and an
+	// ablation request served from another knob setting's entry would
+	// silently skip the ablation.
 	RawCFG         bool
 	NoTransferMemo bool
+	NoSparse       bool
+	NoStructIndex  bool
 }
 
 // ID returns the content address of the key: a hex SHA-256 over an
@@ -60,7 +66,7 @@ func (k Key) ID() string {
 	for _, s := range []string{k.Kind, k.Proc, k.Body, k.Frozen, k.Engine} {
 		fmt.Fprintf(h, "%d:%s;", len(s), s)
 	}
-	fmt.Fprintf(h, "%d;%d;%t;%t", k.K, k.Theta, k.RawCFG, k.NoTransferMemo)
+	fmt.Fprintf(h, "%d;%d;%t;%t;%t;%t", k.K, k.Theta, k.RawCFG, k.NoTransferMemo, k.NoSparse, k.NoStructIndex)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -131,6 +131,17 @@ type Server struct {
 	probeFailures   atomic.Int64
 	encodeFailures  atomic.Int64
 	oversizedBodies atomic.Int64
+
+	// Structure telemetry: cumulative sparse-scheduler counters across
+	// every /analyze engine run (see structureStats).
+	sparseRuns      atomic.Int64
+	denseRuns       atomic.Int64
+	sparsePops      atomic.Int64
+	sparseSteps     atomic.Int64
+	sparseReplay    atomic.Int64
+	regionHits      atomic.Int64
+	regionMisses    atomic.Int64
+	regionFallbacks atomic.Int64
 }
 
 // analyzeRequest is the POST /analyze body. Absent k/theta default to
@@ -142,6 +153,12 @@ type analyzeRequest struct {
 	Theta          *int   `json:"theta"`
 	RawCFG         bool   `json:"rawCFG"`
 	NoTransferMemo bool   `json:"noTransferMemo"`
+	// NoSparse pins the order-insensitive solvers to the dense FIFO
+	// worklist; NoStructIndex keeps the sparse scheduler but ignores loop
+	// structure. Both are A/B knobs: result tables are identical either
+	// way (the hybrids always run dense).
+	NoSparse      bool `json:"noSparse"`
+	NoStructIndex bool `json:"noStructIndex"`
 }
 
 // analyzeResponse is the POST /analyze reply.
@@ -209,6 +226,27 @@ type robustnessStats struct {
 	OversizedBodies int64 `json:"oversizedBodies"`
 }
 
+// structureStats is the /stats structure-driven scheduler telemetry
+// block: cumulative counters over every /analyze engine run whose
+// top-down solve used the sparse priority worklist. Restored-snapshot
+// and hybrid runs count as dense (they do no sparse propagation).
+type structureStats struct {
+	SparseRuns int64 `json:"sparseRuns"`
+	DenseRuns  int64 `json:"denseRuns"`
+	// Pops counts worklist batch pops across sparse runs; Steps is the
+	// propagation-step total of the same runs (the dense-equivalent
+	// work), so Steps/Pops is the realized batching factor.
+	Pops  int64 `json:"pops"`
+	Steps int64 `json:"steps"`
+	// ReplayFacts counts facts installed by region-closure replay;
+	// RegionHits/RegionMisses/RegionFallbacks are the region memo's
+	// lookup outcomes.
+	ReplayFacts     int64 `json:"replayFacts"`
+	RegionHits      int64 `json:"regionHits"`
+	RegionMisses    int64 `json:"regionMisses"`
+	RegionFallbacks int64 `json:"regionFallbacks"`
+}
+
 // statsResponse is the GET /stats reply.
 type statsResponse struct {
 	Requests      int64            `json:"requests"`
@@ -218,6 +256,7 @@ type statsResponse struct {
 	Incremental   incrementalStats `json:"incremental"`
 	Query         queryStats       `json:"query"`
 	Robustness    robustnessStats  `json:"robustness"`
+	Structure     structureStats   `json:"structure"`
 	Store         store.Stats      `json:"store"`
 }
 
@@ -475,6 +514,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg.RawCFG = req.RawCFG
 	cfg.NoTransferMemo = req.NoTransferMemo
+	cfg.NoSparse = req.NoSparse
+	cfg.NoStructIndex = req.NoStructIndex
 
 	// The build (parse → points-to → lower → client construction) always
 	// runs: the cache keys are content digests of the built pipeline.
@@ -527,6 +568,18 @@ func (s *Server) computeAnalyze(ctx context.Context, b *driver.Build, req analyz
 	}
 	s.summaryHits.Add(wstats.SummaryHits)
 	s.summaryMisses.Add(wstats.SummaryMisses)
+	if res.TD != nil && res.TD.Sparse.Enabled {
+		sp := res.TD.Sparse
+		s.sparseRuns.Add(1)
+		s.sparsePops.Add(int64(sp.Pops))
+		s.sparseSteps.Add(int64(res.TD.Steps))
+		s.sparseReplay.Add(int64(sp.ReplayFacts))
+		s.regionHits.Add(int64(sp.RegionHits))
+		s.regionMisses.Add(int64(sp.RegionMisses))
+		s.regionFallbacks.Add(int64(sp.RegionFallbacks))
+	} else {
+		s.denseRuns.Add(1)
+	}
 	if errors.Is(res.Err, core.ErrCanceled) {
 		s.canceledRuns.Add(1)
 		return flightResult{status: http.StatusServiceUnavailable, body: errorBody("analysis canceled before completion")}
@@ -643,6 +696,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ProbeFailures:   s.probeFailures.Load(),
 			EncodeFailures:  s.encodeFailures.Load(),
 			OversizedBodies: s.oversizedBodies.Load(),
+		},
+		Structure: structureStats{
+			SparseRuns:      s.sparseRuns.Load(),
+			DenseRuns:       s.denseRuns.Load(),
+			Pops:            s.sparsePops.Load(),
+			Steps:           s.sparseSteps.Load(),
+			ReplayFacts:     s.sparseReplay.Load(),
+			RegionHits:      s.regionHits.Load(),
+			RegionMisses:    s.regionMisses.Load(),
+			RegionFallbacks: s.regionFallbacks.Load(),
 		},
 		Store: s.store.Stats(),
 	})

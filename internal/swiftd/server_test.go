@@ -178,6 +178,49 @@ func TestAnalyzeRejectsBadRequests(t *testing.T) {
 	}
 }
 
+// TestStructureTelemetry: a td run engages the sparse scheduler and its
+// counters land in the /stats structure block; a hybrid run stays dense,
+// as does a td run with the noSparse knob set (which must also occupy its
+// own result-cache entry rather than aliasing the sparse run's — the
+// tables are identical, but the knobs are part of the config key).
+func TestStructureTelemetry(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	td, code := postAnalyze(t, ts.URL, analyzeRequest{Source: testProgram, Engine: "td"})
+	if code != http.StatusOK {
+		t.Fatalf("td status = %d", code)
+	}
+	stats := getStats(t, ts.URL)
+	st := stats.Structure
+	if st.SparseRuns != 1 || st.DenseRuns != 0 {
+		t.Fatalf("structure after td = %+v, want 1 sparse / 0 dense", st)
+	}
+	if st.Pops == 0 || st.Steps == 0 || st.Pops >= st.Steps {
+		t.Errorf("structure batching counters = %+v, want 0 < pops < steps", st)
+	}
+	if st.RegionFallbacks != 0 {
+		t.Errorf("structure reports %d region fallbacks", st.RegionFallbacks)
+	}
+
+	if _, code := postAnalyze(t, ts.URL, analyzeRequest{Source: testProgram, Engine: "swift"}); code != http.StatusOK {
+		t.Fatalf("swift status = %d", code)
+	}
+	dense, code := postAnalyze(t, ts.URL, analyzeRequest{Source: testProgram, Engine: "td", NoSparse: true})
+	if code != http.StatusOK {
+		t.Fatalf("td noSparse status = %d", code)
+	}
+	if dense.Cached {
+		t.Fatal("td noSparse aliased the sparse run's cache entry")
+	}
+	if dense.TablesDigest != td.TablesDigest {
+		t.Fatalf("noSparse tables digest %s != sparse %s", dense.TablesDigest, td.TablesDigest)
+	}
+	st = getStats(t, ts.URL).Structure
+	if st.SparseRuns != 1 || st.DenseRuns != 2 {
+		t.Errorf("structure after swift + dense td = %+v, want 1 sparse / 2 dense", st)
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/healthz")
